@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: build a BrAID system and ask AI queries.
+
+Demonstrates the core loop of the paper's architecture: an inference
+engine solving logic queries against rules, with all database access going
+through the Cache Management System to an unmodified remote DBMS — and the
+cost accounting that makes the caching benefit visible.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BraidConfig, BraidSystem, KnowledgeBase
+from repro.relational import relation_from_columns
+
+# ---------------------------------------------------------------------------
+# 1. The "remote database": two ordinary relational tables.
+# ---------------------------------------------------------------------------
+TABLES = [
+    relation_from_columns(
+        "parent",
+        par=["tom", "tom", "bob", "bob", "liz", "ann"],
+        child=["bob", "liz", "ann", "pat", "sue", "joe"],
+    ),
+    relation_from_columns(
+        "age",
+        person=["tom", "bob", "liz", "ann", "pat", "sue", "joe"],
+        years=[67, 41, 38, 19, 16, 11, 1],
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# 2. The AI system's knowledge base: rules over those relations.
+# ---------------------------------------------------------------------------
+kb = KnowledgeBase()
+kb.declare_database("parent", 2)
+kb.declare_database("age", 2)
+kb.add_rules(
+    """
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+    minor(X) :- age(X, A), A < 18.
+    guardian_of_minor(G, M) :- parent(G, M), minor(M).
+    """
+)
+
+# ---------------------------------------------------------------------------
+# 3. Assemble BrAID: IE + CMS + remote DBMS on a simulated network.
+# ---------------------------------------------------------------------------
+system = BraidSystem(TABLES, kb, BraidConfig(strategy="conjunction"))
+
+print("== Who are tom's descendants?")
+for solution in system.ask("ancestor(tom, W)"):
+    print("  ", solution)
+
+print("\n== Which guardians look after minors?")
+for solution in system.ask("guardian_of_minor(G, M)"):
+    print("  ", solution)
+
+print("\n== Single solution on demand (lazy):")
+first = system.ask_first("ancestor(tom, W)")
+print("   first descendant found:", first)
+
+# ---------------------------------------------------------------------------
+# 4. The caching benefit: ask the same question again.
+# ---------------------------------------------------------------------------
+before = system.metrics.get("remote.requests")
+system.ask_all("ancestor(tom, W)")
+after = system.metrics.get("remote.requests")
+print(f"\n== Repeat question: {after - before} new remote requests (cache did the rest)")
+
+print("\n== Full cost report")
+print(system.report())

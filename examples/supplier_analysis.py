@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sourcing analysis over a parts/suppliers database.
+
+Shows the CMS features beyond plain caching:
+
+* **subsumption**: a broad "can source" fetch later answers narrower
+  questions (specific suppliers, price limits) locally;
+* **second-order CAQL** (AGG/SETOF): aggregation the remote DBMS of the
+  era could not do, executed by the CMS;
+* **generalization advice**: a view queried repeatedly with different
+  constants is fetched once in general form.
+
+Run:  python examples/supplier_analysis.py
+"""
+
+from repro import BraidConfig, BraidSystem
+from repro.advice import AdviceSet, Cardinality, QueryPattern, Sequence, annotate
+from repro.caql import AggregateQuery, parse_query
+from repro.workloads import suppliers
+
+workload = suppliers(n_suppliers=20, n_parts=30, n_shipments=150, seed=4)
+print(f"Catalog: {workload.description}")
+
+system = BraidSystem.from_workload(workload, BraidConfig(strategy="conjunction"))
+cms = system.bridge
+
+# ---------------------------------------------------------------------------
+# 1. Broad question first, narrow questions after: subsumption reuse.
+# ---------------------------------------------------------------------------
+print("\n== Broad fetch, then narrower questions")
+sources = system.ask_all("can_source(S, P, C)")
+print(f"   can_source(S, P, C): {len(sources)} rows fetched remotely")
+
+before = system.metrics.get("remote.requests")
+cheap = system.ask_all("cheap_source(S, P)")
+print(f"   cheap_source(S, P) : {len(cheap)} rows — "
+      f"{system.metrics.get('remote.requests') - before:.0f} new remote requests "
+      f"(subsumption reused the broad fetch)")
+
+# ---------------------------------------------------------------------------
+# 2. Aggregation in the CMS (AGG is CAQL, not SQL-of-1990).
+# ---------------------------------------------------------------------------
+print("\n== AGG: how many parts can each supplier source?")
+base = parse_query("pairs(S, P) :- shipment(S, P, Q, C), Q > 0")
+counts = AggregateQuery(base, group_by=(0,), aggregations=(("count", 1, "n_parts"),))
+result = cms.query(counts).as_relation().sorted_by(["n_parts"], reverse=True)
+for supplier, n_parts in result.rows[:5]:
+    print(f"   {supplier:<6} sources {n_parts} parts")
+
+# ---------------------------------------------------------------------------
+# 3. Generalization: per-supplier lookups with advice (fresh system, so the
+#    broad fetch above cannot mask the effect).
+# ---------------------------------------------------------------------------
+print("\n== Per-supplier lookups with generalization advice (cold cache)")
+system = BraidSystem.from_workload(workload, BraidConfig(strategy="conjunction"))
+cms = system.bridge
+view = annotate(
+    parse_query("dsupplies(S, P) :- shipment(S, P, Q, C), Q > 0"), "?^"
+)
+path = Sequence((QueryPattern("dsupplies", ("S?", "P^")),), lower=0, upper=Cardinality("S"))
+cms.begin_session(AdviceSet.from_views([view], path_expression=path))
+
+requests_before = system.metrics.get("remote.requests")
+for supplier_id in ("s0", "s1", "s2", "s3", "s4", "s5"):
+    query = parse_query(f"dsupplies({supplier_id}, P) :- shipment({supplier_id}, P, Q, C), Q > 0")
+    parts = cms.query(query).fetch_all()
+    print(f"   {supplier_id}: {len(parts)} parts")
+generalizations = system.metrics.get("cache.generalizations")
+new_requests = system.metrics.get("remote.requests") - requests_before
+print(f"   -> {new_requests:.0f} remote data requests for 6 lookups "
+      f"({generalizations:.0f} generalized fetch; the rest answered from cache)")
+
+print("\n== Cost report")
+print(system.report())

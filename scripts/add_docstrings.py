@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""One-shot maintenance script: insert docstrings for public items.
+
+Used during development to keep the every-public-item-documented rule; kept
+in the repo because it doubles as the enforcement checker (run with
+``--check``).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DOCS = {
+    ("braid.py", "BraidSystem.from_workload"): "Build a system from a prepared workload bundle.",
+    ("braid.py", "BraidSystem.ask_all"): "All solutions of an AI query, as dicts.",
+    ("braid.py", "BraidSystem.ask_first"): "The first solution only (lazy under interpretive strategies).",
+    ("workloads/workload.py", "Workload.build_kb"): "A fresh knowledge base with this workload's rules and SOAs.",
+    ("workloads/workload.py", "Workload.table"): "The base table named ``name``; raises KeyError when absent.",
+    ("workloads/workload.py", "Workload.total_rows"): "Total rows across all base tables.",
+    ("ie/engine.py", "Solutions.all"): "Every solution, fully enumerated.",
+    ("ie/engine.py", "Solutions.exists"): "True when at least one solution exists (computes at most one).",
+    ("ie/engine.py", "InferenceEngine.ask_all"): "All solutions of an AI query, as dicts.",
+    ("ie/engine.py", "InferenceEngine.ask_first"): "The first solution, or None.",
+    ("ie/strategies.py", "specifier_config_for"): "The SpecifierConfig realizing an interpretive strategy.",
+    ("ie/strategies.py", "CompiledStrategy.solve"): "All solutions of the AI query, set-at-a-time.",
+    ("ie/view_specifier.py", "SpecifierResult.next_name"): "The next unused view name (d1, d2, ...).",
+    ("ie/problem_graph.py", "OrNode.is_leaf"): "True for database/built-in/recursive-ref/unknown nodes.",
+    ("baselines/relation_cache.py", "SingleRelationBuffer.used_bytes"): "Estimated bytes held by the buffered relations.",
+    ("baselines/relation_cache.py", "SingleRelationBuffer.buffered_relations"): "Names of the currently buffered base relations.",
+    ("baselines/base.py", "BaselineInterface.schema_of"): "Remote schema lookup (cached by the RDI).",
+    ("baselines/base.py", "BaselineInterface.statistics_of"): "Remote statistics lookup (cached by the RDI).",
+    ("baselines/base.py", "BaselineInterface.query"): "Execute a CAQL query; returns a result stream.",
+    ("baselines/exact_cache.py", "ExactMatchCache.used_bytes"): "Estimated bytes held by cached results.",
+    ("baselines/exact_cache.py", "ExactMatchCache.cached_result_count"): "How many query results are currently cached.",
+    ("advice/view_spec.py", "ViewSpecification.name"): "The view's name (its definition's head symbol).",
+    ("advice/view_spec.py", "ViewSpecification.arity"): "Number of answer positions.",
+    ("advice/view_spec.py", "ViewSpecification.producer_positions"): "Answer positions the CAQL query will produce bindings for.",
+    ("advice/language.py", "AdviceSet.from_views"): "Bundle view specifications (checking for duplicates) into advice.",
+    ("advice/language.py", "AdviceSet.view"): "The view specification named ``name``, or None.",
+    ("advice/language.py", "AdviceSet.is_empty"): "True when the advice carries no information at all.",
+    ("advice/path_expression.py", "QueryPattern.consumer_arg_positions"): "Argument positions sketched as bound (trailing ``?``).",
+    ("advice/path_expression.py", "Alternation.mutually_exclusive"): "True when the selection term is 1.",
+    ("advice/tracker.py", "PathTracker.expects"): "True when ``view`` may be the very next query.",
+    ("relational/statistics.py", "AttributeStats.eq_selectivity"): "Estimated fraction of rows matching an equality on this attribute.",
+    ("relational/statistics.py", "RelationStatistics.attribute"): "Per-attribute summary (empty defaults when unknown).",
+    ("relational/schema.py", "Schema.arity"): "Number of attributes.",
+    ("relational/schema.py", "Schema.has"): "True when ``attribute`` is part of this schema.",
+    ("relational/index.py", "IndexSet.get"): "The existing index on ``attributes``, or None.",
+    ("relational/index.py", "IndexSet.attribute_sets"): "Key attribute tuples of every maintained index.",
+    ("relational/expressions.py", "Comparison.negated"): "The logically complementary condition.",
+    ("relational/expressions.py", "Comparison.columns"): "The column names this condition references.",
+    ("relational/expressions.py", "Comparison.is_col_col"): "True for a condition between two columns.",
+    ("relational/relation.py", "Relation.distinct_values"): "The set of distinct values of one attribute.",
+    ("relational/relation.py", "Relation.copy"): "An independent copy (mutations do not propagate).",
+    ("remote/sqlite_backend.py", "SqliteEngine.create_table"): "(Re)create a base table in sqlite and bulk-load its rows.",
+    ("remote/sqlite_backend.py", "SqliteEngine.table_schema"): "The schema a table was loaded with.",
+    ("remote/sqlite_backend.py", "SqliteEngine.tables"): "Names of all loaded tables, sorted.",
+    ("remote/sqlite_backend.py", "SqliteEngine.execute"): "Execute a DML request via rendered SQL.",
+    ("remote/sqlite_backend.py", "SqliteEngine.close"): "Close the sqlite connection.",
+    ("remote/sql.py", "SelectQuery.referenced_tables"): "The set of table names in the FROM clause.",
+    ("remote/engine.py", "PurePythonEngine.create_table"): "Install (or replace) a base table.",
+    ("remote/engine.py", "PurePythonEngine.table"): "The stored extension of ``name``; raises when unknown.",
+    ("remote/engine.py", "PurePythonEngine.tables"): "Names of all stored tables, sorted.",
+    ("remote/engine.py", "PurePythonEngine.execute"): "Execute a DML request against the stored tables.",
+    ("remote/catalog.py", "Catalog.schema"): "The schema of ``table``; raises when unknown.",
+    ("remote/catalog.py", "Catalog.statistics"): "The statistics of ``table``; raises when unknown.",
+    ("remote/catalog.py", "Catalog.has"): "True when ``table`` is registered.",
+    ("remote/catalog.py", "Catalog.tables"): "All registered table names, sorted.",
+    ("remote/catalog.py", "Catalog.cardinality"): "Row count of ``table`` per its statistics.",
+    ("remote/server.py", "Engine.create_table"): "Install a base table.",
+    ("remote/server.py", "Engine.execute"): "Execute one DML request.",
+    ("remote/server.py", "RemoteResultStream.exhausted"): "True once every row has been pulled.",
+    ("remote/server.py", "RemoteResultStream.total_rows"): "Size of the full result (known server-side).",
+    ("remote/server.py", "RemoteDBMS.has_table"): "True when the catalog knows ``table`` (not charged).",
+    ("caql/ast.py", "ConjunctiveQuery.body_variables"): "All variables occurring in the body.",
+    ("caql/ast.py", "ConjunctiveQuery.answer_variables"): "The answer terms that are variables, in head order.",
+    ("caql/ast.py", "ConjunctiveQuery.comparison_literals"): "Body literals that are comparison predicates.",
+    ("caql/ast.py", "ConjunctiveQuery.arity"): "Number of answer positions.",
+    ("caql/implication.py", "ConditionSet.same_class"): "True when equalities force the two columns equal.",
+    ("caql/implication.py", "ConditionSet.pinned_value"): "(True, v) when the column is forced to the single value v.",
+    ("caql/implication.py", "ConditionSet.implies_all"): "True when every condition is implied.",
+    ("caql/psj.py", "Occurrence.columns"): "The qualified column names of this occurrence, in position order.",
+    ("caql/psj.py", "PSJQuery.arity"): "Number of projection entries.",
+    ("caql/psj.py", "PSJQuery.occurrence"): "The occurrence tagged ``tag``; raises when absent.",
+    ("caql/psj.py", "PSJQuery.predicates"): "Base-relation names, one per occurrence, in order.",
+    ("caql/psj.py", "PSJQuery.all_columns"): "Every qualified column of every occurrence.",
+    ("caql/psj.py", "PSJQuery.columns_of_var"): "All columns bound to the named variable (first is representative).",
+    ("caql/translate.py", "SQLTranslation.rebuild_row"): "One result row reassembled from a shipped row.",
+    ("logic/soa.py", "SOARegistry.add"): "Register an assertion, dispatching on its type.",
+    ("logic/soa.py", "SOARegistry.fds_for"): "Functional dependencies declared for ``pred/arity``.",
+    ("logic/soa.py", "SOARegistry.recursive_for"): "The recursive-structure SOA whose closure is ``pred``, or None.",
+    ("logic/soa.py", "SOARegistry.exclusions_mentioning"): "Mutual exclusions with an alternative on ``pred``.",
+    ("logic/parser.py", "Token"): "One lexical token: kind, text, and source offset.",
+    ("logic/parser.py", "Clause.is_fact"): "True when the clause has no body.",
+    ("logic/terms.py", "Atom.arity"): "Number of arguments.",
+    ("logic/kb.py", "KnowledgeBase.is_database"): "True when the atom names a remote base relation.",
+    ("logic/kb.py", "KnowledgeBase.is_builtin"): "True when an evaluable built-in matches the atom.",
+    ("logic/kb.py", "KnowledgeBase.is_user_defined"): "True when rules or local facts define the atom.",
+    ("logic/kb.py", "KnowledgeBase.database_signatures"): "All declared database (pred, arity) pairs.",
+    ("logic/kb.py", "KnowledgeBase.user_signatures"): "All rule-defined (pred, arity) pairs.",
+    ("logic/kb.py", "KnowledgeBase.all_clauses"): "Every clause, grouped by predicate, in insertion order.",
+    ("core/rdi.py", "RemoteInterface.schema_of"): "Remote schema, from the local copy after the first round trip.",
+    ("core/rdi.py", "RemoteInterface.statistics_of"): "Remote statistics, cached after the first round trip.",
+    ("core/rdi.py", "RemoteInterface.has_table"): "True when the remote database has ``table``.",
+    ("core/subsumption.py", "SubsumptionMatch.available"): "query column -> element attribute, as a dict.",
+    ("core/executor.py", "ResultStream.lazy"): "True when backed by a generator (tuples computed on demand).",
+    ("core/executor.py", "ResultStream.schema"): "The result's schema (positional attributes).",
+    ("core/executor.py", "ResultStream.as_relation"): "The full result as an extension (drains a generator).",
+    ("core/executor.py", "ExecutionMonitor.execute"): "Run a query plan; returns the result relation or generator.",
+    ("core/cms.py", "CacheManagementSystem.schema_of"): "Remote schema lookup for the IE (cached).",
+    ("core/cms.py", "CacheManagementSystem.statistics_of"): "Remote statistics lookup for the IE (cached).",
+    ("core/cms.py", "CacheManagementSystem.cache_statistics"): "Aggregate cache statistics (size, fill, evictions).",
+    ("core/plan.py", "CachePart.tags"): "Query occurrence tags this part covers.",
+    ("core/plan.py", "QueryPlan.touches_remote"): "True when any part needs the remote DBMS.",
+    ("core/plan.py", "QueryPlan.describe"): "A readable multi-line rendering of the plan.",
+    ("core/advice_manager.py", "AdviceManager.begin_session"): "Install a session's advice and start path tracking.",
+    ("core/advice_manager.py", "AdviceManager.has_advice"): "True when the session carries any advice.",
+    ("core/advice_manager.py", "AdviceManager.view"): "The advised view specification named ``name``, or None.",
+    ("core/advice_manager.py", "AdviceManager.observe_query"): "Advance the path tracker on one incoming query.",
+    ("core/cache.py", "CacheElement.is_generator"): "True when stored in generator (lazy) form.",
+    ("core/cache.py", "CacheElement.rows_materialized"): "Rows computed so far (all of them for an extension).",
+    ("core/cache.py", "CacheElement.estimated_bytes"): "Size estimate for capacity accounting.",
+    ("core/cache.py", "CacheElement.has_index_on"): "True when an index on exactly these attributes exists.",
+    ("core/cache.py", "Cache.discard"): "Remove an element and its index entries (no-op if absent).",
+    ("core/cache.py", "Cache.touch"): "Record a use: bumps the LRU clock and the use count.",
+    ("core/cache.py", "Cache.get"): "The element with this id, or None.",
+    ("core/cache.py", "Cache.elements"): "All elements (unordered snapshot).",
+    ("core/cache.py", "Cache.used_bytes"): "Summed size estimates of all stored elements.",
+    ("core/cache.py", "Cache.clear"): "Drop every element and index entry.",
+    ("core/planner.py", "QueryPlanner.plan"): "Produce a plan for one PSJ query (the QPO's three steps).",
+}
+
+BASE = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def find_targets(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    out = {}
+
+    def visit(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qualname = f"{prefix}{child.name}"
+                out[qualname] = child
+                if isinstance(child, ast.ClassDef):
+                    visit(child, qualname + ".")
+
+    visit(tree, "")
+    return out
+
+
+def main(check_only: bool) -> int:
+    missing = []
+    for (relative, qualname), doc in sorted(DOCS.items()):
+        path = BASE / relative
+        targets = find_targets(path)
+        node = targets.get(qualname)
+        if node is None:
+            print(f"!! {relative}::{qualname} not found")
+            continue
+        if ast.get_docstring(node):
+            continue
+        missing.append((path, node, doc))
+    if check_only:
+        for path, node, _doc in missing:
+            print(f"missing: {path}::{node.name}")
+        return 1 if missing else 0
+    # Insert bottom-up per file so line numbers stay valid.
+    by_file: dict[pathlib.Path, list] = {}
+    for path, node, doc in missing:
+        by_file.setdefault(path, []).append((node, doc))
+    for path, items in by_file.items():
+        lines = path.read_text().splitlines(keepends=True)
+        for node, doc in sorted(items, key=lambda pair: -pair[0].body[0].lineno):
+            first = node.body[0]
+            indent = " " * first.col_offset
+            lines.insert(first.lineno - 1, f'{indent}"""{doc}"""\n')
+        path.write_text("".join(lines))
+        print(f"updated {path} ({len(items)} docstrings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main("--check" in sys.argv))

@@ -1,0 +1,44 @@
+"""A reproduction of BrAID (Sheth & O'Hare, ICDE 1991).
+
+BrAID bridges a logic-based AI system (the inference engine, IE) and an
+unmodified relational DBMS through a Cache Management System (CMS) that
+caches views, reuses them via subsumption, and takes advice from the IE.
+
+Quick start::
+
+    from repro import BraidSystem, BraidConfig
+    from repro.workloads import genealogy
+
+    system = BraidSystem.from_workload(genealogy())
+    for solution in system.ask("ancestor(p0, W)"):
+        print(solution)
+    print(system.report())
+"""
+
+from repro.braid import BRIDGES, BraidConfig, BraidSystem
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import BraidError
+from repro.common.metrics import Metrics
+from repro.core.cms import CacheManagementSystem, CMSFeatures
+from repro.ie.engine import InferenceEngine, Solutions
+from repro.logic.kb import KnowledgeBase
+from repro.remote.server import RemoteDBMS
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BRIDGES",
+    "BraidConfig",
+    "BraidError",
+    "BraidSystem",
+    "CMSFeatures",
+    "CacheManagementSystem",
+    "CostProfile",
+    "InferenceEngine",
+    "KnowledgeBase",
+    "Metrics",
+    "RemoteDBMS",
+    "SimClock",
+    "Solutions",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""The advice language: view specifications, path expressions, tracking."""
+
+from repro.advice.language import EMPTY_ADVICE, AdviceSet
+from repro.advice.path_expression import (
+    Alternation,
+    Cardinality,
+    PathExpr,
+    QueryPattern,
+    Sequence,
+    iter_patterns,
+    sequence_companions,
+    view_names,
+)
+from repro.advice.tracker import EXPANSION_CAP, PathTracker
+from repro.advice.view_spec import Binding, ViewSpecification, annotate
+
+__all__ = [
+    "AdviceSet",
+    "Alternation",
+    "Binding",
+    "Cardinality",
+    "EMPTY_ADVICE",
+    "EXPANSION_CAP",
+    "PathExpr",
+    "PathTracker",
+    "QueryPattern",
+    "Sequence",
+    "ViewSpecification",
+    "annotate",
+    "iter_patterns",
+    "sequence_companions",
+    "view_names",
+]

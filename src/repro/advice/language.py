@@ -1,0 +1,91 @@
+"""The advice language: what the IE sends the CMS at session start.
+
+Section 3: "The typical mode of IE – CMS interaction consists of a set of
+sessions.  At the beginning of each session, the IE submits a set of
+advice.  This is followed by a sequence of CAQL queries."
+
+An :class:`AdviceSet` bundles the three advice forms of Section 4.2:
+
+* the **simplest advice** — an unordered list of the base relations
+  relevant to the current AI query ("even this simplest form of advice
+  will provide the CMS with significant knowledge");
+* **view specifications** with binding annotations; and
+* a **path expression** predicting the CAQL query sequence.
+
+All parts are optional — the paper requires that "advice [is not] necessary
+for the CMS to function".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AdviceError
+from repro.advice.path_expression import PathExpr, view_names
+from repro.advice.view_spec import ViewSpecification
+
+
+@dataclass
+class AdviceSet:
+    """One session's worth of advice from the IE."""
+
+    #: The unordered list of relevant base relations: (name, arity) pairs.
+    relevant_relations: tuple[tuple[str, int], ...] = ()
+    #: View specifications, keyed by view name.
+    views: dict[str, ViewSpecification] = field(default_factory=dict)
+    #: The predicted CAQL query sequence, if the IE produced one.
+    path_expression: PathExpr | None = None
+
+    def __post_init__(self) -> None:
+        if self.path_expression is not None:
+            unknown = view_names(self.path_expression) - set(self.views)
+            if unknown:
+                raise AdviceError(
+                    f"path expression references undefined views: {sorted(unknown)}"
+                )
+
+    @classmethod
+    def from_views(
+        cls,
+        views: list[ViewSpecification],
+        path_expression: PathExpr | None = None,
+        relevant_relations: tuple[tuple[str, int], ...] = (),
+    ) -> "AdviceSet":
+        """Bundle view specifications (checking for duplicates) into advice."""
+        table: dict[str, ViewSpecification] = {}
+        for view in views:
+            if view.name in table:
+                raise AdviceError(f"duplicate view specification: {view.name}")
+            table[view.name] = view
+        return cls(
+            relevant_relations=relevant_relations,
+            views=table,
+            path_expression=path_expression,
+        )
+
+    def view(self, name: str) -> ViewSpecification | None:
+        """The view specification named ``name``, or None."""
+        return self.views.get(name)
+
+    def is_empty(self) -> bool:
+        """True when the advice carries no information at all."""
+        return (
+            not self.relevant_relations
+            and not self.views
+            and self.path_expression is None
+        )
+
+    def __str__(self) -> str:
+        lines = []
+        if self.relevant_relations:
+            rels = ", ".join(f"{n}/{a}" for n, a in self.relevant_relations)
+            lines.append(f"relevant: {rels}")
+        for name in sorted(self.views):
+            lines.append(str(self.views[name]))
+        if self.path_expression is not None:
+            lines.append(f"path: {self.path_expression}")
+        return "\n".join(lines) if lines else "(no advice)"
+
+
+#: An advice set carrying nothing — the no-advice baseline.
+EMPTY_ADVICE = AdviceSet()

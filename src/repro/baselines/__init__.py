@@ -1,0 +1,13 @@
+"""Comparison baselines: loose coupling, exact-match cache, relation buffer."""
+
+from repro.baselines.base import BaselineInterface
+from repro.baselines.exact_cache import ExactMatchCache
+from repro.baselines.loose import LooseCoupling
+from repro.baselines.relation_cache import SingleRelationBuffer
+
+__all__ = [
+    "BaselineInterface",
+    "ExactMatchCache",
+    "LooseCoupling",
+    "SingleRelationBuffer",
+]

@@ -1,0 +1,146 @@
+"""The BrAID system facade: IE + CMS + remote DBMS, wired per Figure 3.
+
+:class:`BraidSystem` is the public entry point for users of this library:
+load a workload (or tables + rules), pick an inference strategy and a
+bridge (the full CMS or one of the comparison baselines), and ask AI
+queries.  All cost accounting is shared, so ``report()`` summarizes one
+run end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import BraidError
+from repro.common.metrics import Metrics
+from repro.logic.kb import KnowledgeBase
+from repro.relational.relation import Relation
+from repro.remote.server import RemoteDBMS
+from repro.remote.sqlite_backend import SqliteEngine
+from repro.baselines.exact_cache import ExactMatchCache
+from repro.baselines.loose import LooseCoupling
+from repro.baselines.relation_cache import SingleRelationBuffer
+from repro.core.cms import CacheManagementSystem, CMSFeatures
+from repro.ie.engine import InferenceEngine, Solutions
+from repro.workloads.workload import Workload
+
+#: The bridge implementations selectable by name.
+BRIDGES = ("cms", "loose", "exact-cache", "relation-buffer")
+
+
+@dataclass
+class BraidConfig:
+    """Construction-time options for a BrAID system."""
+
+    strategy: str = "conjunction"
+    bridge: str = "cms"
+    backend: str = "pure"  # or "sqlite"
+    cache_capacity_bytes: int = 4_000_000
+    features: CMSFeatures | None = None
+    profile: CostProfile | None = None
+    generate_advice: bool = True
+    use_statistics: bool = True
+    max_depth: int = 64
+
+
+class BraidSystem:
+    """An assembled BrAID instance: remote DBMS + bridge + IE."""
+
+    def __init__(
+        self,
+        tables: list[Relation],
+        kb: KnowledgeBase,
+        config: BraidConfig | None = None,
+    ):
+        self.config = config if config is not None else BraidConfig()
+        self.clock = SimClock()
+        self.metrics = Metrics()
+        profile = self.config.profile if self.config.profile is not None else CostProfile()
+
+        engine = SqliteEngine() if self.config.backend == "sqlite" else None
+        if self.config.backend not in ("pure", "sqlite"):
+            raise BraidError(f"unknown backend {self.config.backend!r}")
+        self.remote = RemoteDBMS(
+            engine=engine, clock=self.clock, profile=profile, metrics=self.metrics
+        )
+        for table in tables:
+            self.remote.load_table(table)
+
+        self.kb = kb
+        self.bridge = self._build_bridge()
+        self.ie = InferenceEngine(
+            kb,
+            self.bridge,
+            strategy=self.config.strategy,
+            generate_advice=self.config.generate_advice,
+            use_statistics=self.config.use_statistics,
+            max_depth=self.config.max_depth,
+        )
+
+    def _build_bridge(self):
+        bridge = self.config.bridge
+        if bridge == "cms":
+            return CacheManagementSystem(
+                self.remote,
+                capacity_bytes=self.config.cache_capacity_bytes,
+                features=self.config.features,
+            )
+        if bridge == "loose":
+            return LooseCoupling(self.remote)
+        if bridge == "exact-cache":
+            return ExactMatchCache(
+                self.remote, capacity_bytes=self.config.cache_capacity_bytes
+            )
+        if bridge == "relation-buffer":
+            return SingleRelationBuffer(
+                self.remote, capacity_bytes=self.config.cache_capacity_bytes
+            )
+        raise BraidError(f"unknown bridge {bridge!r}; have {BRIDGES}")
+
+    # -- construction helpers --------------------------------------------------------
+    @classmethod
+    def from_workload(cls, workload: Workload, config: BraidConfig | None = None) -> "BraidSystem":
+        """Build a system from a prepared workload bundle."""
+        return cls(workload.tables, workload.build_kb(), config)
+
+    # -- the AI query interface ----------------------------------------------------------
+    def ask(self, query: str) -> Solutions:
+        """Solve an AI query (lazy solutions)."""
+        return self.ie.ask(query)
+
+    def ask_all(self, query: str) -> list[dict[str, object]]:
+        """All solutions of an AI query, as dicts."""
+        return self.ie.ask_all(query)
+
+    def ask_first(self, query: str) -> dict[str, object] | None:
+        """The first solution only (lazy under interpretive strategies)."""
+        return self.ie.ask_first(query)
+
+    def explain(self, query: str, solution: dict[str, object] | None = None):
+        """Justify an answer (see :meth:`InferenceEngine.explain`)."""
+        return self.ie.explain(query, solution)
+
+    # -- reporting -------------------------------------------------------------------------
+    def report(self) -> str:
+        """A human-readable cost summary of everything asked so far."""
+        lines = [
+            f"BrAID run [{self.config.bridge} bridge, {self.config.strategy} strategy]",
+            f"simulated time: {self.clock.now:.6f}s",
+            "",
+            self.metrics.format(),
+        ]
+        if isinstance(self.bridge, CacheManagementSystem):
+            stats = self.bridge.cache_statistics()
+            lines.append("")
+            lines.append(
+                "cache: {elements:.0f} elements, {total_rows:.0f} rows, "
+                "{used_bytes:.0f}/{capacity_bytes:.0f} bytes, "
+                "{evictions:.0f} evictions".format(**stats)
+            )
+        return "\n".join(lines)
+
+    def reset_measurements(self) -> None:
+        """Zero the clock and counters (cache contents are kept)."""
+        self.metrics.reset()
+        self.clock.reset()

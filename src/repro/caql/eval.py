@@ -1,0 +1,399 @@
+"""Evaluation of PSJ queries and conjunctive CAQL queries over relations.
+
+This is the machinery behind the Cache Manager's Query Processor (Section
+5.4): it executes PSJ plans against in-memory relations, in both eager
+(extension-producing) and lazy (generator pipeline) forms, and applies the
+CAQL operations a conventional remote DBMS lacks (evaluable functions,
+AGG/SETOF) on top of the conjunctive core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.common.errors import EvaluationError
+from repro.logic.builtins import BuiltinRegistry
+from repro.logic.terms import Atom, Const, Substitution, Var
+from repro.relational.expressions import Comparison
+from repro.relational.generator import GeneratorRelation
+from repro.relational.operators import aggregate as relational_aggregate
+from repro.relational.operators import join, project, select
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.caql.ast import AggregateQuery, ConjunctiveQuery, SetOfQuery
+from repro.caql.psj import ConstProj, PSJQuery, psj_from_literals
+
+#: Resolves a base-relation name to its extension (cache lookup).
+RelationLookup = Callable[[str], Relation]
+
+
+def result_schema(name: str, arity: int) -> Schema:
+    """The schema of a query result: positional attributes ``a0..``."""
+    return Schema(name, tuple(f"a{i}" for i in range(max(arity, 1))))
+
+
+# ---------------------------------------------------------------------------
+# eager PSJ evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_psj(psj: PSJQuery, lookup: RelationLookup) -> Relation:
+    """Eagerly evaluate a PSJ query; returns the result extension.
+
+    Occurrences are loaded through ``lookup``, selections are pushed down,
+    joins run left-to-right with hash joins on applicable equalities, and
+    the projection (with pinned constants) produces positional attributes.
+    """
+    schema = result_schema(psj.name, psj.arity)
+    if psj.unsatisfiable:
+        return Relation(schema)
+    combined = _joined_relation(psj, lookup)
+    return _project_result(combined, psj, schema)
+
+
+def _occurrence_relation(psj: PSJQuery, occ, lookup: RelationLookup) -> Relation:
+    base = lookup(occ.pred)
+    if base.schema.arity != occ.arity:
+        raise EvaluationError(
+            f"relation {occ.pred} has arity {base.schema.arity}, query expects {occ.arity}"
+        )
+    schema = Schema(occ.tag, tuple(occ.columns()))
+    renamed = Relation(schema, iter(base))
+    local = psj.column_conditions(occ.tag)
+    if local:
+        renamed = select(renamed, local)
+    return renamed
+
+
+def _joined_relation(psj: PSJQuery, lookup: RelationLookup) -> Relation:
+    if not psj.occurrences:
+        # A query with no relation occurrences has one empty row (its
+        # conditions were constant-folded during normalization).
+        return Relation(Schema("unit", ("_unit",)), [(None,)])
+
+    consumed: set[Comparison] = set()
+    for occ in psj.occurrences:
+        consumed.update(psj.column_conditions(occ.tag))
+
+    combined = _occurrence_relation(psj, psj.occurrences[0], lookup)
+    seen_cols = set(combined.schema.attributes)
+    pending = [c for c in psj.conditions if c not in consumed]
+    for occ in psj.occurrences[1:]:
+        right = _occurrence_relation(psj, occ, lookup)
+        right_cols = set(right.schema.attributes)
+        pairs, residual, remaining = [], [], []
+        for condition in pending:
+            cols = condition.columns()
+            if cols <= (seen_cols | right_cols):
+                left_side = cols & seen_cols
+                right_side = cols & right_cols
+                if (
+                    condition.op == "="
+                    and condition.is_col_col()
+                    and len(left_side) == 1
+                    and len(right_side) == 1
+                ):
+                    pairs.append((left_side.pop(), right_side.pop()))
+                else:
+                    residual.append(condition)
+            else:
+                remaining.append(condition)
+        combined = join(combined, right, pairs, name="join", conditions=residual)
+        seen_cols |= right_cols
+        pending = remaining
+    if pending:
+        combined = select(combined, pending)
+    return combined
+
+
+def _project_result(combined: Relation, psj: PSJQuery, schema: Schema) -> Relation:
+    positions: list[tuple[str, object]] = []
+    for entry in psj.projection:
+        if isinstance(entry, ConstProj):
+            positions.append(("const", entry.value))
+        else:
+            positions.append(("col", combined.schema.position(entry)))
+    if not positions:
+        # Boolean query: non-empty input -> single "yes" row.
+        rows = [(True,)] if len(combined) else []
+        return Relation(schema, rows)
+    out_rows = (
+        tuple(value if kind == "const" else row[value] for kind, value in positions)
+        for row in combined
+    )
+    return Relation(schema, out_rows)
+
+
+# ---------------------------------------------------------------------------
+# lazy PSJ evaluation
+# ---------------------------------------------------------------------------
+
+
+def lazy_psj(psj: PSJQuery, lookup: RelationLookup) -> GeneratorRelation:
+    """A generator relation computing the PSJ result on demand.
+
+    The pipeline streams the first occurrence and hash-joins the rest;
+    nothing is computed until the first row is pulled, satisfying the
+    paper's lazy-evaluation requirement (Section 5.1).  Inputs are fetched
+    through ``lookup`` lazily too, so the generator is legal exactly when
+    all inputs are cached at pull time.
+    """
+    schema = result_schema(psj.name, psj.arity)
+
+    def source() -> Iterator[tuple]:
+        if psj.unsatisfiable:
+            return
+        rows, combined_schema = _pipeline(psj, lookup)
+        if not psj.projection:
+            # Boolean query: one "yes" row iff any row exists.
+            for _row in rows:
+                yield (True,)
+                return
+            return
+        positions: list[tuple[str, object]] = []
+        for entry in psj.projection:
+            if isinstance(entry, ConstProj):
+                positions.append(("const", entry.value))
+            else:
+                positions.append(("col", combined_schema.position(entry)))
+        for row in rows:
+            yield tuple(
+                value if kind == "const" else row[value] for kind, value in positions
+            )
+
+    return GeneratorRelation(schema, source)
+
+
+def _pipeline(psj: PSJQuery, lookup: RelationLookup) -> tuple[Iterator[tuple], Schema]:
+    """A streaming plan: the leftmost occurrence is scanned lazily, inner
+    occurrences become hash-join build sides (materialized on first pull
+    inside :func:`join_iter`)."""
+    from repro.relational.operators import join_iter, select_iter
+
+    if not psj.occurrences:
+        unit = Schema("unit", ("_unit",))
+        return iter([(None,)]), unit
+
+    consumed: set[Comparison] = set()
+    for occ in psj.occurrences:
+        consumed.update(psj.column_conditions(occ.tag))
+
+    first = psj.occurrences[0]
+    current_schema = Schema(first.tag, tuple(first.columns()))
+    base = lookup(first.pred)
+    if base.schema.arity != first.arity:
+        raise EvaluationError(
+            f"relation {first.pred} has arity {base.schema.arity}, query expects {first.arity}"
+        )
+    rows: Iterator[tuple] = select_iter(
+        iter(base.rows), current_schema, psj.column_conditions(first.tag)
+    )
+    seen_cols = set(current_schema.attributes)
+    pending = [c for c in psj.conditions if c not in consumed]
+    for occ in psj.occurrences[1:]:
+        right = _occurrence_relation(psj, occ, lookup)
+        right_cols = set(right.schema.attributes)
+        pairs, residual, remaining = [], [], []
+        for condition in pending:
+            cols = condition.columns()
+            if cols <= (seen_cols | right_cols):
+                left_side = cols & seen_cols
+                right_side = cols & right_cols
+                if (
+                    condition.op == "="
+                    and condition.is_col_col()
+                    and len(left_side) == 1
+                    and len(right_side) == 1
+                ):
+                    pairs.append((left_side.pop(), right_side.pop()))
+                else:
+                    residual.append(condition)
+            else:
+                remaining.append(condition)
+        rows = join_iter(rows, current_schema, right, pairs, conditions=residual)
+        current_schema = current_schema.concat(right.schema, "join")
+        seen_cols |= right_cols
+        pending = remaining
+    if pending:
+        rows = select_iter(rows, current_schema, pending)
+    return rows, current_schema
+
+
+# ---------------------------------------------------------------------------
+# conjunctive CAQL queries (PSJ core + evaluable functions)
+# ---------------------------------------------------------------------------
+
+
+def split_literals(
+    query: ConjunctiveQuery, builtins: BuiltinRegistry
+) -> tuple[list[Atom], list[Atom], list[Atom]]:
+    """Partition body literals into (relations, comparisons, evaluable)."""
+    relations, comparisons, evaluable = [], [], []
+    for literal in query.literals:
+        if literal.pred in {"<", ">", "=<", ">=", "=", "\\="} and literal.arity == 2:
+            comparisons.append(literal)
+        elif builtins.is_builtin(literal):
+            evaluable.append(literal)
+        else:
+            relations.append(literal)
+    return relations, comparisons, evaluable
+
+
+def core_plan(
+    query: ConjunctiveQuery, registry: BuiltinRegistry
+) -> tuple[PSJQuery, list[Var], list[Atom]]:
+    """Split a conjunctive query into its PSJ core and evaluable residue.
+
+    Variables bound by relation literals ("core variables") flow out of the
+    PSJ projection; evaluable literals then run row-wise and may *produce*
+    further bindings (e.g. ``S`` in ``plus(A, 1, S)``).  Returns the core
+    PSJ query (projecting the core variables in a fixed order), that order,
+    and the evaluable literals.
+    """
+    relations, comparisons, evaluable = split_literals(query, registry)
+    relation_bound: set[Var] = set()
+    for literal in relations:
+        relation_bound |= literal.variables()
+
+    core_vars: list[Var] = []
+    seen: set[Var] = set()
+    for term in query.answers:
+        if isinstance(term, Var) and term in relation_bound and term not in seen:
+            seen.add(term)
+            core_vars.append(term)
+    for literal in evaluable:
+        for var in literal.variables():
+            if var in relation_bound and var not in seen:
+                seen.add(var)
+                core_vars.append(var)
+
+    psj = psj_from_literals(query.name, relations, comparisons, tuple(core_vars))
+    return psj, core_vars, evaluable
+
+
+def psj_of(query: ConjunctiveQuery, builtins: BuiltinRegistry | None = None) -> PSJQuery:
+    """The PSJ core of a conjunctive query.
+
+    Without evaluable literals this is the full query in PSJ form (answers
+    and all).  With evaluable literals, the projection carries the core
+    variables the evaluable residue needs; use :func:`evaluate_conjunctive`
+    for the complete pipeline.
+    """
+    registry = builtins if builtins is not None else BuiltinRegistry()
+    relations, comparisons, evaluable = split_literals(query, registry)
+    if not evaluable:
+        return psj_from_literals(query.name, relations, comparisons, query.answers)
+    psj, _core_vars, _evaluable = core_plan(query, registry)
+    return psj
+
+
+def evaluate_conjunctive(
+    query: ConjunctiveQuery,
+    lookup: RelationLookup,
+    builtins: BuiltinRegistry | None = None,
+) -> Relation:
+    """Evaluate a full conjunctive CAQL query (PSJ + evaluable literals)."""
+    registry = builtins if builtins is not None else BuiltinRegistry()
+    relations, comparisons, evaluable = split_literals(query, registry)
+    if not evaluable:
+        psj = psj_from_literals(query.name, relations, comparisons, query.answers)
+        return evaluate_psj(psj, lookup)
+
+    psj, core_vars, evaluable = core_plan(query, registry)
+    core = evaluate_psj(psj, lookup)
+    return apply_evaluable(query, core_vars, evaluable, core, registry)
+
+
+def apply_evaluable(
+    query: ConjunctiveQuery,
+    core_vars: list[Var],
+    evaluable: list[Atom],
+    core_result: Relation,
+    registry: BuiltinRegistry,
+) -> Relation:
+    """Run the evaluable residue row-wise over the PSJ core's result."""
+    schema = result_schema(query.name, query.arity)
+    out = Relation(schema)
+    for row in core_result:
+        bindings = Substitution()
+        for position, var in enumerate(core_vars):
+            bindings = bindings.bind(var, Const(row[position]))
+        for solution in _run_evaluable(evaluable, bindings, registry):
+            answer = []
+            for term in query.answers:
+                value = solution.apply_term(term) if isinstance(term, Var) else term
+                if isinstance(value, Var):
+                    raise EvaluationError(
+                        f"answer variable {value} of {query.name} was never bound"
+                    )
+                answer.append(value.value)
+            out.insert(tuple(answer))
+    return out
+
+
+def _run_evaluable(
+    literals: list[Atom], bindings: Substitution, registry: BuiltinRegistry
+) -> Iterator[Substitution]:
+    if not literals:
+        yield bindings
+        return
+    head, *rest = literals
+    for extended in registry.evaluate(head, bindings):
+        yield from _run_evaluable(rest, extended, registry)
+
+
+# ---------------------------------------------------------------------------
+# second-order queries
+# ---------------------------------------------------------------------------
+
+
+def evaluate_aggregate(
+    query: AggregateQuery, base_result: Relation
+) -> Relation:
+    """Apply AGG to the (already evaluated) base result."""
+    schema = base_result.schema
+    group_attrs = [schema.attributes[i] for i in query.group_by]
+    aggregations = [
+        (fn, schema.attributes[i] if fn != "count" else "", out)
+        for fn, i, out in query.aggregations
+    ]
+    return relational_aggregate(base_result, group_attrs, aggregations, name=query.base.name)
+
+
+def evaluate_quantified(query, base_result: Relation, within_result: Relation | None = None) -> Relation:
+    """Apply a CAQL quantifier to evaluated operand relations.
+
+    ``EXISTS``/``ALL`` yield a boolean relation (one ``(True,)`` row when
+    the quantified statement holds, empty otherwise); ``ANY`` yields at
+    most one answer row; ``THE`` yields the unique answer or raises.
+    """
+    boolean = Schema(query.base.name, ("holds",))
+    if query.quantifier == "exists":
+        return Relation(boolean, [(True,)] if len(base_result) else [])
+    if query.quantifier == "any":
+        rows = base_result.rows[:1]
+        return Relation(base_result.schema, rows)
+    if query.quantifier == "the":
+        if len(base_result) != 1:
+            raise EvaluationError(
+                f"THE[{query.base.name}]: expected exactly one answer, got {len(base_result)}"
+            )
+        return base_result
+    # ALL: containment of base in within.
+    assert within_result is not None
+    holds_all = all(row in within_result for row in base_result)
+    return Relation(boolean, [(True,)] if holds_all else [])
+
+
+def evaluate_setof(query: SetOfQuery, base_result: Relation) -> Relation:
+    """Apply SETOF/BAGOF to the (already evaluated) base result.
+
+    SETOF is the identity on a set-semantics result; BAGOF appends a
+    multiplicity column (always 1 here because the substrate is set-based —
+    the distinction matters only against bag-semantics remote results).
+    """
+    if not query.with_counts:
+        return base_result
+    attrs = base_result.schema.attributes + ("count",)
+    schema = Schema(base_result.schema.name, attrs)
+    return Relation(schema, (row + (1,) for row in base_result))

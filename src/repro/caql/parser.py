@@ -1,0 +1,33 @@
+"""Textual CAQL: a thin layer over the logic parser.
+
+A conjunctive CAQL query is written exactly like a rule::
+
+    d2(X, Y) :- b2(X, Z), b3(Z, c2, Y).
+
+and an instantiated IE-query like an atom with constants::
+
+    d2(X, c6)
+
+(Section 5.3.1: "An IE-query is an instance of one of the view
+specifications with constant bindings.")
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ParseError
+from repro.logic.parser import parse_atom, parse_clause
+from repro.logic.terms import Atom
+from repro.caql.ast import ConjunctiveQuery
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse ``name(args) :- body.`` into a conjunctive query."""
+    clause = parse_clause(text if text.rstrip().endswith(".") else text + ".")
+    if not clause.body:
+        raise ParseError(f"a CAQL query needs a body: {text!r}")
+    return ConjunctiveQuery(clause.head.pred, clause.head.args, clause.body)
+
+
+def parse_query_pattern(text: str) -> Atom:
+    """Parse an instantiated query pattern like ``d2(X, c6)``."""
+    return parse_atom(text)

@@ -1,0 +1,239 @@
+"""The PSJ (project–select–join) canonical form of CAQL queries.
+
+Section 5.3.2 of the paper: "We limit Q and E_i's to logic expressions
+equivalent to PSJ expressions (as in [LARS85])".  Every conjunctive CAQL
+query is normalized into this form, which is what the subsumption
+algorithm, the planner, and the remote translator all consume:
+
+* an ordered list of **relation occurrences** (the same base relation may
+  occur several times, each under a distinct tag ``t0, t1, ...``);
+* a conjunction of **conditions** over *qualified columns* — strings of the
+  form ``"t1.c2"`` meaning "argument position 2 of occurrence t1" — and
+  literal values; and
+* an ordered **projection** of qualified columns (or pinned constants, for
+  instantiated answer positions).
+
+Shared variables become column-equality conditions; constants in argument
+positions become column-literal equality conditions.  This makes structural
+reasoning (implication, subsumption, generalization) purely syntactic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import TranslationError
+from repro.logic.terms import Atom, Const, Term, Var
+from repro.relational.expressions import Col, Comparison, Lit, holds
+
+#: CAQL comparison predicate -> condition operator.
+_OP_MAP = {"<": "<", ">": ">", "=<": "<=", ">=": ">=", "=": "=", "\\=": "!="}
+
+_COLUMN_RE = re.compile(r"^(t\d+)\.c(\d+)$")
+
+
+def column(tag: str, position: int) -> str:
+    """The qualified column name for argument ``position`` of ``tag``."""
+    return f"{tag}.c{position}"
+
+
+def parse_column(name: str) -> tuple[str, int]:
+    """Inverse of :func:`column`."""
+    match = _COLUMN_RE.match(name)
+    if match is None:
+        raise TranslationError(f"not a qualified column: {name!r}")
+    return match.group(1), int(match.group(2))
+
+
+@dataclass(frozen=True, slots=True)
+class Occurrence:
+    """One occurrence of a base relation in a query."""
+
+    tag: str
+    pred: str
+    arity: int
+
+    def columns(self) -> list[str]:
+        """The qualified column names of this occurrence, in position order."""
+        return [column(self.tag, i) for i in range(self.arity)]
+
+    def __str__(self) -> str:
+        return f"{self.tag}:{self.pred}/{self.arity}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConstProj:
+    """A projection entry pinned to a constant (instantiated answer slot)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+#: A projection entry: a qualified column name or a pinned constant.
+ProjEntry = str | ConstProj
+
+
+@dataclass(frozen=True)
+class PSJQuery:
+    """A normalized project–select–join query."""
+
+    name: str
+    occurrences: tuple[Occurrence, ...]
+    conditions: tuple[Comparison, ...]
+    projection: tuple[ProjEntry, ...]
+    #: Mapping variable name -> all qualified columns it binds (first is the
+    #: representative used in conditions/projection).  Derived data kept for
+    #: generalization and diagnostics.
+    var_columns: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: True when constant folding proved the query empty.
+    unsatisfiable: bool = False
+
+    def __post_init__(self) -> None:
+        tags = [o.tag for o in self.occurrences]
+        if len(set(tags)) != len(tags):
+            raise TranslationError(f"duplicate occurrence tags in {self.name}: {tags}")
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of projection entries."""
+        return len(self.projection)
+
+    def occurrence(self, tag: str) -> Occurrence:
+        """The occurrence tagged ``tag``; raises when absent."""
+        for occ in self.occurrences:
+            if occ.tag == tag:
+                return occ
+        raise TranslationError(f"no occurrence tagged {tag!r} in {self.name}")
+
+    def predicates(self) -> list[str]:
+        """Base-relation names, one per occurrence, in order."""
+        return [o.pred for o in self.occurrences]
+
+    def all_columns(self) -> list[str]:
+        """Every qualified column of every occurrence."""
+        out = []
+        for occ in self.occurrences:
+            out.extend(occ.columns())
+        return out
+
+    def columns_of_var(self, var_name: str) -> tuple[str, ...]:
+        """All columns bound to the named variable (first is representative)."""
+        for name, cols in self.var_columns:
+            if name == var_name:
+                return cols
+        return ()
+
+    def column_conditions(self, tag: str) -> list[Comparison]:
+        """Conditions that only mention columns of occurrence ``tag``."""
+        prefix = tag + "."
+        out = []
+        for condition in self.conditions:
+            cols = condition.columns()
+            if cols and all(c.startswith(prefix) for c in cols):
+                out.append(condition)
+        return out
+
+    def canonical_key(self) -> tuple:
+        """A hashable key equal for structurally identical queries.
+
+        Tags are already assigned in occurrence order, so two queries built
+        from the same literal sequence get the same key.  Used by
+        exact-match result caching.
+        """
+        return (
+            tuple((o.pred, o.arity) for o in self.occurrences),
+            tuple(sorted(str(c.normalized()) for c in self.conditions)),
+            tuple(str(p) for p in self.projection),
+        )
+
+    def __str__(self) -> str:
+        occs = ", ".join(str(o) for o in self.occurrences)
+        conds = " & ".join(str(c) for c in self.conditions) or "true"
+        proj = ", ".join(str(p) for p in self.projection)
+        return f"PSJ {self.name}: [{occs}] where {conds} project ({proj})"
+
+
+def psj_from_literals(
+    name: str,
+    relation_literals: list[Atom],
+    comparison_literals: list[Atom],
+    answers: tuple[Term, ...],
+) -> PSJQuery:
+    """Normalize a conjunction of literals into PSJ form.
+
+    ``relation_literals`` become occurrences; shared variables and constant
+    arguments become conditions; ``comparison_literals`` become conditions
+    through variable representatives; ``answers`` become the projection.
+    """
+    occurrences: list[Occurrence] = []
+    conditions: list[Comparison] = []
+    representative: dict[Var, str] = {}
+    all_columns: dict[Var, list[str]] = {}
+    unsatisfiable = False
+
+    for index, literal in enumerate(relation_literals):
+        tag = f"t{index}"
+        occurrences.append(Occurrence(tag, literal.pred, literal.arity))
+        for position, arg in enumerate(literal.args):
+            qualified = column(tag, position)
+            if isinstance(arg, Const):
+                conditions.append(Comparison(Col(qualified), "=", Lit(arg.value)))
+            else:
+                if arg in representative:
+                    conditions.append(
+                        Comparison(Col(representative[arg]), "=", Col(qualified))
+                    )
+                else:
+                    representative[arg] = qualified
+                all_columns.setdefault(arg, []).append(qualified)
+
+    def operand(term: Term):
+        if isinstance(term, Const):
+            return Lit(term.value)
+        rep = representative.get(term)
+        if rep is None:
+            raise TranslationError(
+                f"comparison variable {term} is not bound by any relation literal in {name}"
+            )
+        return Col(rep)
+
+    for literal in comparison_literals:
+        if literal.pred not in _OP_MAP:
+            raise TranslationError(f"{literal.pred} is not a comparison predicate")
+        op = _OP_MAP[literal.pred]
+        left_term, right_term = literal.args
+        if isinstance(left_term, Const) and isinstance(right_term, Const):
+            # Constant-fold: either trivially true (drop) or the whole
+            # query is unsatisfiable.
+            if not holds(left_term.value, op, right_term.value):
+                unsatisfiable = True
+            continue
+        conditions.append(Comparison(operand(left_term), op, operand(right_term)))
+
+    projection: list[ProjEntry] = []
+    for term in answers:
+        if isinstance(term, Const):
+            projection.append(ConstProj(term.value))
+        else:
+            rep = representative.get(term)
+            if rep is None:
+                raise TranslationError(
+                    f"answer variable {term} is not bound by any relation literal in {name}"
+                )
+            projection.append(rep)
+
+    var_columns = tuple(
+        (var.name, tuple(cols)) for var, cols in all_columns.items()
+    )
+    return PSJQuery(
+        name,
+        tuple(occurrences),
+        tuple(c.normalized() for c in conditions),
+        tuple(projection),
+        var_columns=var_columns,
+        unsatisfiable=unsatisfiable,
+    )

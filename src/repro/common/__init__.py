@@ -1,0 +1,42 @@
+"""Shared substrate: errors, simulated time, and metric accounting."""
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import (
+    AdviceError,
+    ArityError,
+    BraidError,
+    CacheCapacityError,
+    CacheError,
+    EvaluationError,
+    InferenceError,
+    KnowledgeBaseError,
+    ParseError,
+    PlanningError,
+    RemoteDBMSError,
+    SchemaError,
+    TranslationError,
+    UnificationError,
+    UnknownRelationError,
+)
+from repro.common.metrics import Metrics
+
+__all__ = [
+    "AdviceError",
+    "ArityError",
+    "BraidError",
+    "CacheCapacityError",
+    "CacheError",
+    "CostProfile",
+    "EvaluationError",
+    "InferenceError",
+    "KnowledgeBaseError",
+    "Metrics",
+    "ParseError",
+    "PlanningError",
+    "RemoteDBMSError",
+    "SchemaError",
+    "SimClock",
+    "TranslationError",
+    "UnificationError",
+    "UnknownRelationError",
+]

@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every BrAID subsystem.
+
+All errors raised by this package derive from :class:`BraidError` so that a
+caller embedding BrAID can catch everything with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class BraidError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ParseError(BraidError):
+    """A textual query, rule, or advice expression could not be parsed.
+
+    Carries the offending ``text`` and a ``position`` (character offset)
+    when they are known, so tools can point at the error location.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.text is not None and self.position is not None:
+            snippet = self.text[max(0, self.position - 20):self.position + 20]
+            return f"{base} (at offset {self.position}: ...{snippet!r}...)"
+        return base
+
+
+class UnificationError(BraidError):
+    """Two terms could not be unified (used internally; most APIs return None)."""
+
+
+class SchemaError(BraidError):
+    """A relation was used inconsistently with its declared schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query referenced a relation that no component knows about."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class ArityError(SchemaError):
+    """A predicate or relation was used with the wrong number of arguments."""
+
+    def __init__(self, name: str, expected: int, actual: int):
+        super().__init__(f"relation {name!r} expects {expected} arguments, got {actual}")
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+
+
+class EvaluationError(BraidError):
+    """A query plan or generator failed during evaluation."""
+
+
+class CacheError(BraidError):
+    """The cache manager was asked to do something inconsistent."""
+
+
+class CacheCapacityError(CacheError):
+    """A cache element cannot fit even after evicting every evictable element."""
+
+
+class AdviceError(BraidError):
+    """An advice expression is malformed or inconsistent with the session."""
+
+
+class RemoteDBMSError(BraidError):
+    """The remote DBMS rejected or failed a request."""
+
+
+class TranslationError(BraidError):
+    """A CAQL query could not be translated to the remote DBMS's DML."""
+
+
+class PlanningError(BraidError):
+    """The query planner/optimizer could not produce a plan."""
+
+
+class InferenceError(BraidError):
+    """The inference engine failed while solving an AI query."""
+
+
+class KnowledgeBaseError(BraidError):
+    """A rule or assertion is inconsistent with the knowledge base."""

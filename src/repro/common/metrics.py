@@ -1,0 +1,98 @@
+"""Cost and event accounting shared by all BrAID components.
+
+The paper measures the goodness of the CMS by "volume of communication
+between the workstation and the remote system, computational demands made on
+the database server, and computation that needs to be done by the
+workstation".  :class:`Metrics` is the single ledger where every component
+records those quantities, so experiments can report them directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Metrics:
+    """A hierarchical counter ledger.
+
+    Counters are named with dotted paths (``"remote.requests"``,
+    ``"cache.hits.subsumed"``).  Components only ever increment counters;
+    reports aggregate by prefix.
+    """
+
+    counters: Counter = field(default_factory=Counter)
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (may be fractional)."""
+        self.counters[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def by_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose dotted name starts with ``prefix``."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if name == prefix or name.startswith(dotted)
+        }
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters under ``prefix``."""
+        return sum(self.by_prefix(prefix).values())
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.counters.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """An immutable copy of all counters, sorted by name."""
+        return dict(sorted(self.counters.items()))
+
+    def diff(self, earlier: dict[str, float]) -> dict[str, float]:
+        """Counters that changed since ``earlier`` (a prior snapshot)."""
+        out: dict[str, float] = {}
+        for name, value in self.counters.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self.counters.items()))
+
+    def format(self, prefix: str = "") -> str:
+        """Human-readable report, optionally restricted to ``prefix``."""
+        items = self.by_prefix(prefix) if prefix else self.snapshot()
+        if not items:
+            return "(no metrics)"
+        width = max(len(name) for name in items)
+        lines = []
+        for name in sorted(items):
+            value = items[name]
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name:<{width}}  {shown}")
+        return "\n".join(lines)
+
+
+# Canonical counter names, collected here so components and tests agree.
+REMOTE_REQUESTS = "remote.requests"
+REMOTE_TUPLES = "remote.tuples_shipped"
+REMOTE_SERVER_TUPLES = "remote.server_tuples_touched"
+CACHE_HITS_EXACT = "cache.hits.exact"
+CACHE_HITS_SUBSUMED = "cache.hits.subsumed"
+CACHE_MISSES = "cache.misses"
+CACHE_EVICTIONS = "cache.evictions"
+CACHE_PREFETCHES = "cache.prefetches"
+CACHE_GENERALIZATIONS = "cache.generalizations"
+CACHE_INDEX_BUILDS = "cache.index_builds"
+CACHE_TUPLES_PROCESSED = "cache.tuples_processed"
+IE_INFERENCE_STEPS = "ie.inference_steps"
+IE_CAQL_QUERIES = "ie.caql_queries"
+LAZY_TUPLES_PRODUCED = "lazy.tuples_produced"
+EAGER_TUPLES_PRODUCED = "eager.tuples_produced"

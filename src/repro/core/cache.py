@@ -1,0 +1,259 @@
+"""The cache: elements, storage, uses, and replacement.
+
+Section 5.4: the Cache Manager is responsible for "(a) maintaining the
+cache as well as storing and replacing cache elements (using an LRU scheme
+which may be modified due to advi[c]e); (b) executing queries on cached
+data ...; (c) keeping track of resources consumed by the cached data; and
+(d) maintaining sufficient historical meta-data to support cache
+replacement and accumulate performance measurement statistics."
+
+A **cache element** is "a relation defined by a CAQL expression" (held here
+in PSJ form) stored either as an extension or as a generator (Section 5.1).
+Elements may serve several named **uses** (Section 5.2's co-existing,
+alternative representations): each use may want different indexes, and the
+CMS decides whether one stored instance can serve them all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.common.errors import CacheCapacityError, CacheError
+from repro.relational.generator import GeneratorRelation
+from repro.relational.index import IndexSet
+from repro.relational.relation import Relation
+from repro.caql.psj import PSJQuery
+
+#: Scores an element's eviction priority; higher = evict sooner.
+EvictionScorer = Callable[["CacheElement"], float]
+
+
+@dataclass
+class CacheElement:
+    """One cached view: a PSJ definition plus its stored representation."""
+
+    element_id: str
+    definition: PSJQuery
+    relation: Relation | GeneratorRelation
+    sequence: int = 0  # LRU clock value of the last touch
+    use_count: int = 0
+    uses: set[str] = field(default_factory=set)
+    pinned: bool = False  # temporarily exempt from eviction (in-flight use)
+    #: Advice predicted no further use: first in line for eviction.
+    expendable: bool = False
+    _indexes: IndexSet | None = field(default=None, repr=False)
+    _sorted_views: dict | None = field(default=None, repr=False)
+
+    @property
+    def is_generator(self) -> bool:
+        """True when stored in generator (lazy) form."""
+        return isinstance(self.relation, GeneratorRelation)
+
+    @property
+    def view_name(self) -> str:
+        """The view this element was defined from (advice linkage)."""
+        return self.definition.name
+
+    def extension(self) -> Relation:
+        """The element as an extension (draining a generator if needed)."""
+        if isinstance(self.relation, GeneratorRelation):
+            return self.relation.to_extension()
+        return self.relation
+
+    def rows_materialized(self) -> int:
+        """Rows computed so far (all of them for an extension)."""
+        if isinstance(self.relation, GeneratorRelation):
+            return self.relation.produced_count
+        return len(self.relation)
+
+    def estimated_bytes(self) -> int:
+        """Size estimate for capacity accounting."""
+        if isinstance(self.relation, GeneratorRelation):
+            return self.relation._memo.estimated_bytes() + 64
+        return self.relation.estimated_bytes() + 64
+
+    # -- indexing ---------------------------------------------------------------
+    def indexes(self) -> IndexSet:
+        """The element's index set (promotes a generator to an extension:
+        indexing requires the full extension)."""
+        extension = self.extension()
+        if self._indexes is None:
+            self._indexes = IndexSet(extension)
+        return self._indexes
+
+    def has_index_on(self, attributes: tuple[str, ...]) -> bool:
+        """True when an index on exactly these attributes exists."""
+        return self._indexes is not None and self._indexes.get(attributes) is not None
+
+    def promote(self) -> Relation:
+        """Convert a generator element to its extension in place."""
+        if isinstance(self.relation, GeneratorRelation):
+            self.relation = self.relation.to_extension()
+        return self.relation
+
+    # -- alternative sortings (Section 5.2) --------------------------------------
+    def sorted_view(self, attributes: tuple[str, ...], reverse: bool = False) -> Relation:
+        """A memoized sorted representation of this element.
+
+        Section 5.2: "Consider, for example, the case where alternative
+        sortings are required" — each requested ordering is computed once
+        and co-exists with the unsorted instance.
+        """
+        key = (tuple(attributes), reverse)
+        if self._sorted_views is None:
+            self._sorted_views = {}
+        view = self._sorted_views.get(key)
+        if view is None:
+            view = self.extension().sorted_by(list(attributes), reverse=reverse)
+            self._sorted_views[key] = view
+        return view
+
+
+def lru_scorer(element: CacheElement) -> float:
+    """Plain LRU: the least recently touched element scores highest."""
+    return -float(element.sequence)
+
+
+class Cache:
+    """Bounded storage of cache elements with pluggable replacement.
+
+    ``capacity_bytes`` bounds the summed size estimates of all elements;
+    eviction runs on insert.  The eviction scorer defaults to LRU and is
+    replaced by the Advice Manager with an advice-modified scorer when a
+    path expression is being tracked.
+    """
+
+    def __init__(self, capacity_bytes: int = 4_000_000):
+        if capacity_bytes <= 0:
+            raise CacheError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._elements: dict[str, CacheElement] = {}
+        self._by_predicate: dict[str, set[str]] = {}
+        self._by_key: dict[tuple, str] = {}
+        self._clock = itertools.count(1)
+        self._ids = itertools.count(1)
+        self.scorer: EvictionScorer = lru_scorer
+        self.eviction_count = 0
+
+    # -- storage ---------------------------------------------------------------
+    def store(
+        self,
+        definition: PSJQuery,
+        relation: Relation | GeneratorRelation,
+        use: str | None = None,
+    ) -> CacheElement:
+        """Insert a new element (evicting as needed); returns it.
+
+        If an element with a structurally identical definition exists, it
+        is reused (Section 5.2: "the CMS is able to use a single instance
+        of the relation in the cache ... to represent more than one of
+        these uses").
+        """
+        key = definition.canonical_key()
+        existing_id = self._by_key.get(key)
+        if existing_id is not None:
+            element = self._elements[existing_id]
+            self.touch(element)
+            if use:
+                element.uses.add(use)
+            return element
+
+        element = CacheElement(
+            element_id=f"E{next(self._ids)}",
+            definition=definition,
+            relation=relation,
+            sequence=next(self._clock),
+        )
+        if use:
+            element.uses.add(use)
+        self._make_room(element.estimated_bytes(), exempt={element.element_id})
+        self._elements[element.element_id] = element
+        self._by_key[key] = element.element_id
+        for pred in set(definition.predicates()):
+            self._by_predicate.setdefault(pred, set()).add(element.element_id)
+        return element
+
+    def discard(self, element_id: str) -> None:
+        """Remove an element and its index entries (no-op if absent)."""
+        element = self._elements.pop(element_id, None)
+        if element is None:
+            return
+        self._by_key.pop(element.definition.canonical_key(), None)
+        for pred in set(element.definition.predicates()):
+            members = self._by_predicate.get(pred)
+            if members is not None:
+                members.discard(element_id)
+                if not members:
+                    del self._by_predicate[pred]
+
+    def _make_room(self, incoming_bytes: int, exempt: set[str]) -> None:
+        if incoming_bytes > self.capacity_bytes:
+            raise CacheCapacityError(
+                f"element of ~{incoming_bytes} bytes exceeds cache capacity "
+                f"{self.capacity_bytes}"
+            )
+        while self.used_bytes() + incoming_bytes > self.capacity_bytes:
+            victim = self._pick_victim(exempt)
+            if victim is None:
+                raise CacheCapacityError(
+                    "cache full and every element is pinned or exempt"
+                )
+            self.discard(victim.element_id)
+            self.eviction_count += 1
+
+    def _pick_victim(self, exempt: set[str]) -> CacheElement | None:
+        candidates = [
+            e
+            for e in self._elements.values()
+            if not e.pinned and e.element_id not in exempt
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=self.scorer)
+
+    # -- lookup -----------------------------------------------------------------
+    def touch(self, element: CacheElement) -> None:
+        """Record a use: bumps the LRU clock and the use count."""
+        element.sequence = next(self._clock)
+        element.use_count += 1
+
+    def get(self, element_id: str) -> CacheElement | None:
+        """The element with this id, or None."""
+        return self._elements.get(element_id)
+
+    def lookup_exact(self, definition: PSJQuery) -> CacheElement | None:
+        """An element whose definition is structurally identical (the
+        exact-match reuse of [SELL87]/[IOAN88], subsumed by BrAID)."""
+        element_id = self._by_key.get(definition.canonical_key())
+        if element_id is None:
+            return None
+        return self._elements[element_id]
+
+    def elements_for_predicate(self, pred: str) -> list[CacheElement]:
+        """Step-1 candidate filter: elements whose definition mentions
+        ``pred`` (the paper's ``(predicate name, cache element)`` index)."""
+        ids = self._by_predicate.get(pred, ())
+        return [self._elements[i] for i in ids]
+
+    def elements(self) -> list[CacheElement]:
+        """All elements (unordered snapshot)."""
+        return list(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element_id: str) -> bool:
+        return element_id in self._elements
+
+    # -- accounting ----------------------------------------------------------------
+    def used_bytes(self) -> int:
+        """Summed size estimates of all stored elements."""
+        return sum(e.estimated_bytes() for e in self._elements.values())
+
+    def clear(self) -> None:
+        """Drop every element and index entry."""
+        self._elements.clear()
+        self._by_predicate.clear()
+        self._by_key.clear()

@@ -1,0 +1,63 @@
+"""The cache model: meta-information about the cache, as a relation.
+
+Section 5.3.2: "The cache model contains information on the cache
+elements.  It is a relation of type (E_id_i, E_def_i, ....)".  Section 3:
+"the IE can access cache model information from the CMS" — so the model is
+exposed as an ordinary relation the IE (or anything else) can query.
+"""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.core.cache import Cache
+
+CACHE_MODEL_SCHEMA = Schema(
+    "cache_model",
+    (
+        "e_id",        # element identifier
+        "e_def",       # definition (rendered PSJ expression)
+        "view",        # the view name the definition came from
+        "kind",        # "extension" | "generator"
+        "rows",        # rows materialized so far
+        "bytes",       # estimated size
+        "use_count",   # touches since creation
+        "uses",        # comma-joined named uses (Section 5.2)
+        "pinned",      # 1 when exempt from replacement
+    ),
+)
+
+
+def cache_model(cache: Cache) -> Relation:
+    """A point-in-time snapshot of the cache model relation."""
+    rows = []
+    for element in cache.elements():
+        rows.append(
+            (
+                element.element_id,
+                str(element.definition),
+                element.view_name,
+                "generator" if element.is_generator else "extension",
+                element.rows_materialized(),
+                element.estimated_bytes(),
+                element.use_count,
+                ",".join(sorted(element.uses)),
+                1 if element.pinned else 0,
+            )
+        )
+    return Relation(CACHE_MODEL_SCHEMA, rows)
+
+
+def cache_statistics(cache: Cache) -> dict[str, float]:
+    """Aggregate statistics about the cache (performance meta-data)."""
+    elements = cache.elements()
+    return {
+        "elements": len(elements),
+        "generators": sum(1 for e in elements if e.is_generator),
+        "extensions": sum(1 for e in elements if not e.is_generator),
+        "used_bytes": cache.used_bytes(),
+        "capacity_bytes": cache.capacity_bytes,
+        "fill_fraction": cache.used_bytes() / cache.capacity_bytes,
+        "evictions": cache.eviction_count,
+        "total_rows": sum(e.rows_materialized() for e in elements),
+    }

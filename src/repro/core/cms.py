@@ -1,0 +1,358 @@
+"""The Cache Management System (CMS) facade.
+
+"Functionally, the CMS is a main memory relational database management
+system where the database [is] referred to as the cache. ... The CMS
+accepts CAQL queries and advice from the IE and executes CAQL queries by
+accessing data from the cache and/or the remote DBMS." (Section 3)
+
+The request path for one conjunctive CAQL query:
+
+1. track the query against the session's path expression;
+2. normalize to PSJ (evaluable literals split off as a local residue);
+3. plan (Section 5.3's three steps: generalize?, find relevant elements,
+   generate plan) and execute (parallel cache/remote, streams);
+4. cache the result (advice permitting), build advised indexes;
+5. prefetch sequence companions predicted by the path expression.
+
+Every technique is individually toggleable through :class:`CMSFeatures` —
+the ablation knobs behind experiment E1 — and the CMS works with no advice
+at all (the paper requires this).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import (
+    AdviceError,
+    CacheCapacityError,
+    PlanningError,
+    TranslationError,
+)
+from repro.common.metrics import (
+    CACHE_GENERALIZATIONS,
+    CACHE_HITS_EXACT,
+    CACHE_HITS_SUBSUMED,
+    CACHE_INDEX_BUILDS,
+    CACHE_MISSES,
+    CACHE_PREFETCHES,
+    IE_CAQL_QUERIES,
+    Metrics,
+)
+from repro.logic.builtins import BuiltinRegistry
+from repro.logic.terms import Atom, Const, Substitution, Var
+from repro.relational.generator import GeneratorRelation
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.statistics import RelationStatistics
+from repro.remote.server import RemoteDBMS
+from repro.advice.language import AdviceSet
+from repro.caql.ast import (
+    AggregateQuery,
+    CAQLQuery,
+    ConjunctiveQuery,
+    QuantifiedQuery,
+    SetOfQuery,
+)
+from repro.caql.eval import (
+    core_plan,
+    evaluate_aggregate,
+    evaluate_quantified,
+    evaluate_setof,
+    result_schema,
+)
+from repro.caql.psj import PSJQuery, psj_from_literals
+from repro.core.advice_manager import AdviceManager
+from repro.core.cache import Cache, lru_scorer
+from repro.core.cache_model import cache_model, cache_statistics
+from repro.core.executor import ExecutionMonitor, ResultStream
+from repro.core.planner import PlannerFeatures, QueryPlanner
+from repro.core.rdi import RemoteInterface
+
+logger = logging.getLogger("repro.cms")
+
+
+@dataclass
+class CMSFeatures(PlannerFeatures):
+    """All CMS technique toggles (extends the planner's)."""
+
+    advice_replacement: bool = True
+    buffer_size: int = 64
+
+    @classmethod
+    def none(cls) -> "CMSFeatures":
+        """Everything off — degrades the CMS to a loose-coupling shim."""
+        return cls(
+            caching=False,
+            subsumption=False,
+            lazy=False,
+            prefetch=False,
+            generalization=False,
+            indexing=False,
+            parallel=False,
+            advice_replacement=False,
+        )
+
+
+class CacheManagementSystem:
+    """The bridge between an inference engine and a remote DBMS."""
+
+    def __init__(
+        self,
+        remote: RemoteDBMS,
+        capacity_bytes: int = 4_000_000,
+        features: CMSFeatures | None = None,
+        builtins: BuiltinRegistry | None = None,
+    ):
+        self.remote = remote
+        self.clock: SimClock = remote.clock
+        self.metrics: Metrics = remote.metrics
+        self.profile: CostProfile = remote.profile
+        self.features = features if features is not None else CMSFeatures()
+        self.builtins = builtins if builtins is not None else BuiltinRegistry()
+
+        self.cache = Cache(capacity_bytes)
+        self.advice_manager = AdviceManager()
+        self.rdi = RemoteInterface(remote, self.features.buffer_size)
+        self.planner = QueryPlanner(
+            self.cache,
+            self.advice_manager,
+            self.rdi.statistics_of,
+            self.profile,
+            self.features,
+        )
+        self.monitor = ExecutionMonitor(
+            self.cache,
+            self.rdi,
+            self.clock,
+            self.profile,
+            self.metrics,
+            parallel=self.features.parallel,
+            should_index=self._should_auto_index,
+        )
+
+    def _should_auto_index(self, view_name: str) -> bool:
+        """Executor callback: consumer-annotated views trigger indexing of
+        the cache element that serves their derivations."""
+        return self.features.indexing and bool(
+            self.advice_manager.index_positions(view_name)
+        )
+
+    # -- sessions -----------------------------------------------------------------
+    def begin_session(self, advice: AdviceSet | None = None) -> None:
+        """Start an IE session: a set of advice, then a query sequence."""
+        if advice is not None and not advice.is_empty():
+            logger.debug(
+                "session: %d views, path=%s",
+                len(advice.views),
+                advice.path_expression,
+            )
+        else:
+            logger.debug("session: no advice")
+        self.advice_manager.begin_session(advice)
+        if self.features.advice_replacement:
+            self.cache.scorer = self.advice_manager.replacement_scorer()
+        else:
+            self.cache.scorer = lru_scorer
+
+    # -- metadata for the IE ---------------------------------------------------------
+    def schema_of(self, table: str) -> Schema:
+        """Remote schema lookup for the IE (cached)."""
+        return self.rdi.schema_of(table)
+
+    def statistics_of(self, table: str) -> RelationStatistics:
+        """Remote statistics lookup for the IE (cached)."""
+        return self.rdi.statistics_of(table)
+
+    def cache_model(self) -> Relation:
+        """The cache model relation (queryable by the IE, Section 3)."""
+        return cache_model(self.cache)
+
+    def cache_statistics(self) -> dict[str, float]:
+        """Aggregate cache statistics (size, fill, evictions)."""
+        return cache_statistics(self.cache)
+
+    # -- the CAQL query interface ------------------------------------------------------
+    def query(self, q: CAQLQuery) -> ResultStream:
+        """Execute a CAQL query; returns a result stream."""
+        if isinstance(q, AggregateQuery):
+            base = self.query(q.base).as_relation()
+            return ResultStream(evaluate_aggregate(q, base), q.base.name)
+        if isinstance(q, SetOfQuery):
+            base = self.query(q.base).as_relation()
+            return ResultStream(evaluate_setof(q, base), q.base.name)
+        if isinstance(q, QuantifiedQuery):
+            base = self.query(q.base).as_relation()
+            within = (
+                self.query(q.within).as_relation() if q.within is not None else None
+            )
+            return ResultStream(evaluate_quantified(q, base, within), q.base.name)
+        if not isinstance(q, ConjunctiveQuery):
+            raise PlanningError(f"not a CAQL query: {q!r}")
+
+        self.metrics.incr(IE_CAQL_QUERIES)
+        self.advice_manager.observe_query(q.name)
+
+        psj, core_vars, evaluable = core_plan(q, self.builtins)
+        if not evaluable:
+            psj = psj_from_literals(
+                q.name, q.relation_literals(), q.comparison_literals(), q.answers
+            )
+            result = self._answer_psj(psj)
+            self._prefetch_companions(q.name)
+            return ResultStream(result, q.name)
+
+        # Evaluable residue: answer the PSJ core through the cache
+        # machinery, then run the built-ins row-wise in the CMS (operations
+        # the remote DBMS does not support, Section 5.3).
+        core_result = self._materialize(self._answer_psj(psj))
+        final = self._apply_evaluable(q, core_vars, evaluable, core_result)
+        self._prefetch_companions(q.name)
+        return ResultStream(final, q.name)
+
+    def query_pattern(self, pattern: Atom) -> ResultStream:
+        """Execute an IE-query given as an instantiated view pattern.
+
+        Section 5.3.1: "An IE-query is an instance of one of the view
+        specifications with constant bindings" — ``pattern`` is that
+        instance, e.g. ``d2(X, c6)``; the view definition comes from the
+        session's advice.
+        """
+        view = self.advice_manager.view(pattern.pred)
+        if view is None:
+            raise AdviceError(
+                f"IE-query {pattern} names no view specification in the session advice"
+            )
+        definition = view.definition
+        if definition.arity != pattern.arity:
+            raise AdviceError(
+                f"IE-query {pattern} arity does not match view {view.name}/{definition.arity}"
+            )
+        bindings = Substitution()
+        for answer, arg in zip(definition.answers, pattern.args):
+            if isinstance(arg, Const):
+                if isinstance(answer, Var):
+                    bindings = bindings.bind(answer, arg)
+                elif answer != arg:
+                    raise AdviceError(
+                        f"IE-query {pattern} conflicts with pinned constant in {view.name}"
+                    )
+        return self.query(definition.instantiate(bindings))
+
+    # -- internals -------------------------------------------------------------------------
+    def _answer_psj(self, psj: PSJQuery) -> Relation | GeneratorRelation:
+        plan = self.planner.plan(psj)
+
+        # Generalization (step 1): fetch the general form first, replan.
+        if plan.prefetches:
+            for general in plan.prefetches:
+                logger.debug("generalize: fetching %s for %s", general.name, psj.name)
+                try:
+                    self._fetch_and_cache(general, view_name=psj.name)
+                except CacheCapacityError:
+                    logger.debug("generalize: %s did not fit the cache", general.name)
+                    continue
+                self.metrics.incr(CACHE_GENERALIZATIONS)
+            plan = self.planner.plan(psj)
+
+        if plan.strategy == "exact":
+            self.metrics.incr(CACHE_HITS_EXACT)
+        elif plan.strategy == "cache-full":
+            self.metrics.incr(CACHE_HITS_SUBSUMED)
+        elif plan.strategy == "hybrid":
+            self.metrics.incr(CACHE_HITS_SUBSUMED)
+        elif plan.strategy == "remote":
+            self.metrics.incr(CACHE_MISSES)
+
+        logger.debug("plan[%s] for %s%s", plan.strategy, psj.name,
+                     " (lazy)" if plan.lazy else "")
+        result = self.monitor.execute(plan)
+
+        if plan.cache_result and plan.strategy != "exact":
+            try:
+                element = self.cache.store(psj, result)
+            except CacheCapacityError:
+                return result
+            if plan.expendable and element.use_count == 0:
+                element.expendable = True
+            elif element.use_count > 0:
+                element.expendable = False  # reuse proved the advice wrong
+            self._build_indexes(element, plan.index_positions)
+        return result
+
+    def _materialize(self, result: Relation | GeneratorRelation) -> Relation:
+        if isinstance(result, GeneratorRelation):
+            return result.to_extension()
+        return result
+
+    def _apply_evaluable(
+        self,
+        q: ConjunctiveQuery,
+        core_vars: list[Var],
+        evaluable: list[Atom],
+        core_result: Relation,
+    ) -> Relation:
+        from repro.caql.eval import apply_evaluable
+
+        return apply_evaluable(q, core_vars, evaluable, core_result, self.builtins)
+
+    def _fetch_and_cache(self, psj: PSJQuery, view_name: str | None = None) -> None:
+        """Fetch a PSJ query remotely and install it as a cache element."""
+        if self.cache.lookup_exact(psj) is not None:
+            return
+        relation = self.rdi.fetch(psj)
+        element = self.cache.store(psj, relation)
+        if view_name is not None and self.features.indexing:
+            positions = self.advice_manager.index_positions(view_name)
+            self._build_indexes(element, positions)
+
+    def _build_indexes(self, element, positions: tuple[int, ...]) -> None:
+        if not self.features.indexing:
+            return
+        from repro.caql.psj import ConstProj
+
+        for position in positions:
+            if position >= element.definition.arity:
+                continue
+            if isinstance(element.definition.projection[position], ConstProj):
+                continue  # the position is pinned: nothing to probe
+            attr = f"a{position}"
+            if element.has_index_on((attr,)):
+                continue
+            rows = element.rows_materialized()
+            element.indexes().ensure((attr,))
+            self.metrics.incr(CACHE_INDEX_BUILDS)
+            self.clock.charge("local", self.profile.index_build_per_tuple * rows)
+
+    def _prefetch_companions(self, view_name: str) -> None:
+        """Prefetch views grouped with ``view_name`` in the path expression."""
+        if not self.features.prefetch or not self.features.caching:
+            return
+        for companion in self.advice_manager.prefetch_candidates(view_name):
+            general = self._general_psj_of_view(companion)
+            if general is None or self.cache.lookup_exact(general) is not None:
+                continue
+            logger.debug("prefetch: %s (companion of %s)", companion, view_name)
+            try:
+                self._fetch_and_cache(general, view_name=companion)
+            except CacheCapacityError:
+                continue
+            self.metrics.incr(CACHE_PREFETCHES)
+
+    def _general_psj_of_view(self, view_name: str) -> PSJQuery | None:
+        view = self.advice_manager.view(view_name)
+        if view is None:
+            return None
+        definition = view.definition
+        relations = definition.relation_literals()
+        comparisons = definition.comparison_literals()
+        if len(relations) + len(comparisons) != len(definition.literals):
+            return None  # evaluable literals: not prefetchable
+        try:
+            return psj_from_literals(
+                f"{view_name}__general", relations, comparisons, definition.answers
+            )
+        except TranslationError:
+            return None  # externally-bound comparison: not prefetchable

@@ -1,0 +1,298 @@
+"""The Execution Monitor (Section 5, Figure 5).
+
+"The Execution Monitor coordinates the execution of the subqueries
+according to the order specified by the QPO.  Subqueries to the remote
+DBMS can be executed in parallel with the subqueries to the Cache
+Manager."
+
+Execution charges simulated time: remote work lands on the ``remote``
+clock track (inside the RDI/server), cache-side work on the ``local``
+track; a plan with both runs them inside one parallel region so the
+response time is the maximum, not the sum (Section 5.3.3).
+
+Results are returned to the IE as a :class:`ResultStream` — "the CMS
+returns the result for the query using a stream" (Section 3) — which wraps
+either an extension (eager) or a generator (lazy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import PlanningError
+from repro.common.metrics import (
+    CACHE_TUPLES_PROCESSED,
+    EAGER_TUPLES_PRODUCED,
+    LAZY_TUPLES_PRODUCED,
+    Metrics,
+)
+from repro.relational.expressions import Comparison
+from repro.relational.generator import GeneratorRelation
+from repro.relational.operators import join, select
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.caql.eval import result_schema
+from repro.caql.psj import ConstProj, PSJQuery
+from repro.core.cache import Cache
+from repro.core.plan import CachePart, QueryPlan, RemotePart
+from repro.core.rdi import RemoteInterface
+from repro.core.subsumption import derive_full, derive_full_lazy, derive_part
+
+
+class ResultStream:
+    """The IE-facing result: tuples on demand, from cache or extension."""
+
+    def __init__(self, relation: Relation | GeneratorRelation, name: str):
+        self._relation = relation
+        self.name = name
+        self._iterator: Iterator[tuple] | None = None
+
+    @property
+    def lazy(self) -> bool:
+        """True when backed by a generator (tuples computed on demand)."""
+        return isinstance(self._relation, GeneratorRelation)
+
+    @property
+    def schema(self) -> Schema:
+        """The result's schema (positional attributes)."""
+        return self._relation.schema
+
+    def next(self) -> tuple | None:
+        """The next solution, or None when exhausted (single-solution
+        consumption — the Prolog-style interface)."""
+        if self._iterator is None:
+            self._iterator = iter(self._relation)
+        return next(self._iterator, None)
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield from self._relation
+
+    def fetch_all(self) -> list[tuple]:
+        """All solutions (set-at-a-time consumption)."""
+        if isinstance(self._relation, GeneratorRelation):
+            return self._relation.to_extension().rows
+        return self._relation.rows
+
+    def as_relation(self) -> Relation:
+        """The full result as an extension (drains a generator)."""
+        if isinstance(self._relation, GeneratorRelation):
+            return self._relation.to_extension()
+        return self._relation
+
+
+class ExecutionMonitor:
+    """Executes query plans, charging simulated costs."""
+
+    def __init__(
+        self,
+        cache: Cache,
+        rdi: RemoteInterface,
+        clock: SimClock,
+        profile: CostProfile,
+        metrics: Metrics,
+        parallel: bool = True,
+        should_index=None,
+    ):
+        self.cache = cache
+        self.rdi = rdi
+        self.clock = clock
+        self.profile = profile
+        self.metrics = metrics
+        self.parallel = parallel
+        #: Callback: should derivations for this view name auto-index the
+        #: matched element's probe attributes?  (Consumer-annotation
+        #: advice; Section 5.3.3's "index E12 on the third attribute".)
+        self.should_index = should_index if should_index is not None else (lambda _name: False)
+
+    # -- cost helpers ----------------------------------------------------------------
+    def _charge_local(self, tuples: int) -> None:
+        self.metrics.incr(CACHE_TUPLES_PROCESSED, tuples)
+        self.clock.charge("local", self.profile.cache_per_tuple * tuples)
+
+    # -- execution ---------------------------------------------------------------------
+    def execute(self, plan: QueryPlan) -> Relation | GeneratorRelation:
+        """Run a query plan; returns the result relation or generator."""
+        strategy = plan.strategy
+        if strategy == "unsatisfiable":
+            return Relation(result_schema(plan.query.name, plan.query.arity))
+        if strategy == "unit":
+            return self._unit_result(plan.query)
+        if strategy == "exact":
+            return self._execute_exact(plan)
+        if strategy == "cache-full":
+            return self._execute_cache_full(plan)
+        if strategy in ("hybrid", "remote"):
+            return self._execute_parts(plan)
+        raise PlanningError(f"unknown plan strategy: {strategy}")
+
+    def _unit_result(self, query: PSJQuery) -> Relation:
+        schema = result_schema(query.name, query.arity)
+        row = tuple(
+            entry.value if isinstance(entry, ConstProj) else None
+            for entry in query.projection
+        )
+        return Relation(schema, [row] if query.projection else [(True,)])
+
+    def _execute_exact(self, plan: QueryPlan) -> Relation | GeneratorRelation:
+        element = self.cache.lookup_exact(plan.query)
+        if element is None:
+            raise PlanningError("exact plan but the element vanished")
+        self.cache.touch(element)
+        self._charge_local(element.rows_materialized())
+        return element.relation
+
+    def _execute_cache_full(self, plan: QueryPlan) -> Relation | GeneratorRelation:
+        match = plan.full_match
+        if match is None:
+            raise PlanningError("cache-full plan without a match")
+        self.cache.touch(match.element)
+        if plan.lazy:
+            gen = derive_full_lazy(match, plan.query)
+            gen.on_produce = self._on_lazy_tuple
+            return gen
+        result, touched = self._derive_full_indexed(match, plan.query)
+        self._charge_local(touched + len(result))
+        self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
+        return result
+
+    def _derive_full_indexed(self, match, query: PSJQuery) -> tuple[Relation, int]:
+        """derive_full, using a hash index for equality residuals when one
+        exists on the element (Section 5.4: hash indices speed up joins and
+        some selections).  Returns the result and the number of element
+        rows actually touched (an index probe touches only its bucket)."""
+        element = match.element
+        equalities: list[tuple[str, object, Comparison]] = []
+        rest: list[Comparison] = []
+        for condition in match.residual_conditions:
+            norm = condition.normalized()
+            if norm.op == "=" and norm.is_col_const():
+                equalities.append((norm.left.name, norm.right.value, condition))
+            else:
+                rest.append(condition)
+        if equalities and not element.is_generator:
+            by_attr = {attr: value for attr, value, _cond in equalities}
+            index = element.indexes().find_covering(set(by_attr))
+            if index is None and self.should_index(query.name):
+                # Consumer-annotated view: build the index the advice asked
+                # for, on the element actually serving the probes.
+                attrs = tuple(sorted(by_attr))
+                element.indexes().ensure(attrs)
+                from repro.common.metrics import CACHE_INDEX_BUILDS
+
+                self.metrics.incr(CACHE_INDEX_BUILDS)
+                self.clock.charge(
+                    "local",
+                    self.profile.index_build_per_tuple * element.rows_materialized(),
+                )
+                index = element.indexes().find_covering(set(by_attr))
+            if index is not None:
+                key = tuple(by_attr[a] for a in index.attributes)
+                rows = index.lookup(key)
+                residual = rest + [
+                    cond
+                    for attr, _value, cond in equalities
+                    if attr not in index.attributes
+                ]
+                source = element.extension()
+                filtered = Relation(source.schema, rows)
+                if residual:
+                    filtered = select(filtered, residual)
+                self.clock.charge("local", self.profile.index_probe)
+                return derive_full(match, query, prefiltered=filtered), len(rows)
+        return derive_full(match, query), match.element.rows_materialized()
+
+    def _on_lazy_tuple(self, _row: tuple) -> None:
+        self.metrics.incr(LAZY_TUPLES_PRODUCED)
+        self.clock.charge("local", self.profile.cache_per_tuple)
+
+    def _execute_parts(self, plan: QueryPlan) -> Relation:
+        produced: list[Relation] = []
+        remote_parts = [p for p in plan.parts if isinstance(p, RemotePart)]
+        cache_parts = [p for p in plan.parts if isinstance(p, CachePart)]
+
+        def run_remote() -> None:
+            for part in remote_parts:
+                relation = self.rdi.fetch(part.sub_query)
+                produced.append(self._with_columns(relation, part.columns, "remote"))
+
+        def run_cache() -> None:
+            for part in cache_parts:
+                self.cache.touch(part.match.element)
+                source_rows = part.match.element.rows_materialized()
+                relation = self._cache_part_relation(part)
+                self._charge_local(source_rows + len(relation))
+                produced.append(relation)
+
+        if self.parallel and remote_parts and cache_parts:
+            with self.clock.parallel():
+                run_remote()  # charges the "remote" track inside the RDI
+                run_cache()   # charges the "local" track
+        else:
+            run_remote()
+            run_cache()
+
+        result = self._combine(produced, plan)
+        self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
+        return result
+
+    def _cache_part_relation(self, part: CachePart) -> Relation:
+        return derive_part(part.match, list(part.columns))
+
+    def _with_columns(self, relation: Relation, columns: tuple[str, ...], label: str) -> Relation:
+        if not columns:
+            schema = Schema(label, (f"_exists_{label}",))
+            return Relation(schema, [(True,)] if len(relation) else [])
+        schema = Schema(label, columns)
+        return Relation(schema, iter(relation))
+
+    def _combine(self, parts: list[Relation], plan: QueryPlan) -> Relation:
+        if not parts:
+            raise PlanningError("no parts produced anything to combine")
+        pending = list(plan.cross_conditions)
+        combined = parts[0]
+        seen_cols = set(combined.schema.attributes)
+        input_rows = len(combined)
+        for relation in parts[1:]:
+            right_cols = set(relation.schema.attributes)
+            pairs, residual, remaining = [], [], []
+            for condition in pending:
+                cols = condition.columns()
+                if cols <= (seen_cols | right_cols):
+                    left_side = cols & seen_cols
+                    right_side = cols & right_cols
+                    if (
+                        condition.op == "="
+                        and condition.is_col_col()
+                        and len(left_side) == 1
+                        and len(right_side) == 1
+                    ):
+                        pairs.append((left_side.pop(), right_side.pop()))
+                    else:
+                        residual.append(condition)
+                else:
+                    remaining.append(condition)
+            combined = join(combined, relation, pairs, name="combine", conditions=residual)
+            seen_cols |= right_cols
+            input_rows += len(relation) + len(combined)
+            pending = remaining
+        if pending:
+            combined = select(combined, pending)
+
+        schema = result_schema(plan.query.name, plan.query.arity)
+        entries = []
+        for entry in plan.query.projection:
+            if isinstance(entry, ConstProj):
+                entries.append(("const", entry.value))
+            else:
+                entries.append(("col", combined.schema.position(entry)))
+        if entries:
+            rows = (
+                tuple(v if kind == "const" else row[v] for kind, v in entries)
+                for row in combined
+            )
+            result = Relation(schema, rows)
+        else:
+            result = Relation(schema, [(True,)] if len(combined) else [])
+        self._charge_local(input_rows + len(result))
+        return result

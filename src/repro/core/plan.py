@@ -1,0 +1,96 @@
+"""Query plan structures produced by the QPO (Section 5.3.3).
+
+A plan "consists of a partially ordered set of subqueries where each
+subquery is designated for execution by either the Cache Manager or by the
+remote DBMS".  Here the partial order has two levels: all **parts** (cache
+derivations and at most one remote fetch) are mutually independent — the
+Execution Monitor runs them in one parallel region — followed by the
+**combine** stage (join + residual conditions + projection) on the
+workstation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import Comparison
+from repro.caql.psj import PSJQuery
+from repro.core.subsumption import SubsumptionMatch
+
+
+@dataclass(frozen=True)
+class CachePart:
+    """A component answered from the cache via a subsumption match."""
+
+    match: SubsumptionMatch
+    #: Query columns this part must expose to the combine stage.
+    columns: tuple[str, ...]
+
+    @property
+    def tags(self) -> frozenset[str]:
+        """Query occurrence tags this part covers."""
+        return self.match.covered_tags
+
+
+@dataclass(frozen=True)
+class RemotePart:
+    """A component shipped to the remote DBMS as one DML request."""
+
+    sub_query: PSJQuery
+    #: Query columns this part exposes (the sub-query's projection order).
+    columns: tuple[str, ...]
+    tags: frozenset[str]
+
+
+PlanPart = CachePart | RemotePart
+
+
+@dataclass
+class QueryPlan:
+    """The complete plan for one CAQL query."""
+
+    query: PSJQuery
+    #: One of: exact, cache-full, hybrid, remote, unsatisfiable, unit.
+    strategy: str
+    parts: tuple[PlanPart, ...] = ()
+    #: For exact / cache-full strategies: the match to derive from.
+    full_match: SubsumptionMatch | None = None
+    #: Conditions spanning parts, applied at the combine stage.
+    cross_conditions: tuple[Comparison, ...] = ()
+    #: Evaluate lazily (only legal when nothing remote is involved).
+    lazy: bool = False
+    #: Store the result as a cache element afterwards.
+    cache_result: bool = True
+    #: Advice predicts no further request: store, but evict first.
+    expendable: bool = False
+    #: Result attribute positions to index after caching (consumer advice).
+    index_positions: tuple[int, ...] = ()
+    #: Planner estimates, for tests and ablation reporting.
+    estimated_local_cost: float = 0.0
+    estimated_remote_cost: float = 0.0
+    estimated_rows: float = 0.0
+    #: Extra PSJ queries to fetch and cache ahead of need (prefetch and
+    #: generalization both surface here).
+    prefetches: tuple[PSJQuery, ...] = ()
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def touches_remote(self) -> bool:
+        """True when any part needs the remote DBMS."""
+        return any(isinstance(p, RemotePart) for p in self.parts)
+
+    def describe(self) -> str:
+        """A readable multi-line rendering of the plan."""
+        lines = [f"plan[{self.strategy}] for {self.query.name}"]
+        for part in self.parts:
+            if isinstance(part, CachePart):
+                lines.append(f"  cache: {part.match}")
+            else:
+                lines.append(f"  remote: {part.sub_query}")
+        if self.full_match is not None:
+            lines.append(f"  derive-from: {self.full_match}")
+        if self.lazy:
+            lines.append("  lazy evaluation")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

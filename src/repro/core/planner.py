@@ -1,0 +1,385 @@
+"""The Query Planner/Optimizer (QPO) — Sections 5.3.1–5.3.3.
+
+Step 1 — *determine the query to be evaluated*: decide whether to answer
+the IE-query as given or a generalization of it (prefetching more data
+than needed, amortized over predicted repetitions).
+
+Step 2 — *determine relevant cache elements*: run subsumption over the
+cache (delegated to :mod:`repro.core.subsumption`).
+
+Step 3 — *generate the plan*: choose among answering entirely from cache
+(exact or derived), a hybrid split (cache parts + one remote request,
+executed in parallel), or shipping the whole query to the remote DBMS —
+by comparing estimated costs under the session's cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.clock import CostProfile
+from repro.common.errors import TranslationError
+from repro.relational.expressions import Comparison
+from repro.relational.statistics import RelationStatistics
+from repro.caql.psj import ConstProj, PSJQuery, psj_from_literals
+from repro.core.advice_manager import AdviceManager
+from repro.core.cache import Cache
+from repro.core.plan import CachePart, PlanPart, QueryPlan, RemotePart
+from repro.core.subsumption import SubsumptionMatch, find_relevant
+
+
+@dataclass
+class PlannerFeatures:
+    """Which CMS techniques the planner may use (the E1 ablation knobs)."""
+
+    caching: bool = True
+    subsumption: bool = True
+    lazy: bool = True
+    prefetch: bool = True
+    generalization: bool = True
+    indexing: bool = True
+    parallel: bool = True
+
+
+#: Resolves a base-relation name to its remote statistics.
+StatsLookup = Callable[[str], RelationStatistics]
+
+
+class QueryPlanner:
+    """Produces a :class:`QueryPlan` for each PSJ query."""
+
+    def __init__(
+        self,
+        cache: Cache,
+        advice: AdviceManager,
+        stats_of: StatsLookup,
+        profile: CostProfile,
+        features: PlannerFeatures | None = None,
+    ):
+        self.cache = cache
+        self.advice = advice
+        self.stats_of = stats_of
+        self.profile = profile
+        self.features = features if features is not None else PlannerFeatures()
+
+    # -- entry point -------------------------------------------------------------
+    def plan(self, query: PSJQuery) -> QueryPlan:
+        """Produce a plan for one PSJ query (the QPO's three steps)."""
+        if query.unsatisfiable:
+            return QueryPlan(query, "unsatisfiable", cache_result=False)
+        if not query.occurrences:
+            return QueryPlan(query, "unit", cache_result=False)
+
+        view_name = query.name
+        # Results are stored whenever caching is on; advice that predicts
+        # no further request downgrades the element to *expendable* (first
+        # in line for eviction) rather than refusing storage — future
+        # sessions may still profit from it.
+        cache_result = self.features.caching
+        expendable = not self.advice.should_cache_result(view_name)
+        index_positions = (
+            self.advice.index_positions(view_name) if self.features.indexing else ()
+        )
+
+        # -- step 2 first: an exact or derived cache answer needs no step 1.
+        if self.features.caching:
+            exact = self.cache.lookup_exact(query)
+            if exact is not None:
+                return QueryPlan(
+                    query,
+                    "exact",
+                    cache_result=False,  # already cached
+                    lazy=False,
+                    notes=["exact-match result reuse"],
+                )
+            if self.features.subsumption:
+                matches = find_relevant(self.cache, query)
+            else:
+                matches = []
+            full = next((m for m in matches if m.is_full), None)
+            if full is not None:
+                lazy = (
+                    self.features.lazy
+                    and self.advice.prefers_lazy(view_name)
+                )
+                return QueryPlan(
+                    query,
+                    "cache-full",
+                    full_match=full,
+                    lazy=lazy,
+                    cache_result=cache_result,
+                    expendable=expendable,
+                    index_positions=index_positions,
+                    estimated_local_cost=self._derive_cost(full),
+                    notes=[f"derived from {full.element.element_id}"],
+                )
+        else:
+            matches = []
+
+        # -- step 1: generalization decision (only when remote work looms).
+        prefetches: list[PSJQuery] = []
+        notes: list[str] = []
+        if (
+            self.features.generalization
+            and self.features.caching
+            and self.advice.should_generalize(view_name)
+        ):
+            general = self.generalization_of(query)
+            if general is not None and self.cache.lookup_exact(general) is None:
+                prefetches.append(general)
+                notes.append(f"generalize: fetch {general.name} unconstrained")
+
+        # -- step 3: hybrid vs all-remote.
+        chosen = self._choose_parts(query, matches)
+        plan = self._assemble(query, chosen, notes)
+        plan.cache_result = cache_result
+        plan.expendable = expendable
+        plan.index_positions = index_positions
+        plan.prefetches = tuple(prefetches)
+        return plan
+
+    # -- step 1 helpers -----------------------------------------------------------
+    def generalization_of(self, query: PSJQuery) -> PSJQuery | None:
+        """The generalized query: the advice view's own (uninstantiated)
+        definition, which subsumes every instance the IE will send."""
+        view = self.advice.view(query.name)
+        if view is None:
+            return None
+        definition = view.definition
+        relations = definition.relation_literals()
+        comparisons = definition.comparison_literals()
+        if len(relations) + len(comparisons) != len(definition.literals):
+            return None  # evaluable literals: exact-match only (Section 5.3.2)
+        try:
+            return psj_from_literals(
+                f"{definition.name}__general",
+                relations,
+                comparisons,
+                definition.answers,
+            )
+        except TranslationError:
+            # A comparison in the view references a variable bound outside
+            # the run (legal in an instantiated IE-query, where it arrives
+            # as a constant): the uninstantiated form is not a well-formed
+            # query, so this view cannot be generalized.
+            return None
+
+    # -- step 3: part selection ------------------------------------------------------
+    def _choose_parts(
+        self, query: PSJQuery, matches: list[SubsumptionMatch]
+    ) -> list[SubsumptionMatch]:
+        """Greedy non-overlapping selection of partial matches by coverage.
+
+        Overlapping candidates (several elements able to cover the same
+        occurrence) are resolved in favour of wider coverage with fewer
+        residual conditions — the paper's E101/E102 vs E103 discussion.
+        """
+        chosen: list[SubsumptionMatch] = []
+        covered: set[str] = set()
+        for match in matches:  # already sorted: fuller first
+            if match.covered_tags & covered:
+                continue
+            if not self._part_columns_available(query, match):
+                continue
+            chosen.append(match)
+            covered |= match.covered_tags
+        return chosen
+
+    def _part_columns_available(self, query: PSJQuery, match: SubsumptionMatch) -> bool:
+        available = match.available()
+        for col in self._needed_columns(query, match.covered_tags):
+            if col not in available:
+                return False
+        return True
+
+    def _needed_columns(self, query: PSJQuery, tags: frozenset[str]) -> list[str]:
+        """Query columns a part must expose: projection columns plus the
+        covered side of cross-part conditions."""
+        prefixes = tuple(tag + "." for tag in tags)
+        needed: list[str] = []
+
+        def want(col: str) -> None:
+            if col.startswith(prefixes) and col not in needed:
+                needed.append(col)
+
+        for entry in query.projection:
+            if not isinstance(entry, ConstProj):
+                want(entry)
+        for condition in query.conditions:
+            cols = condition.columns()
+            inside = {c for c in cols if c.startswith(prefixes)}
+            if inside and inside != cols:
+                for col in inside:
+                    want(col)
+        return needed
+
+    def _assemble(
+        self, query: PSJQuery, chosen: list[SubsumptionMatch], notes: list[str]
+    ) -> QueryPlan:
+        all_tags = {occ.tag for occ in query.occurrences}
+        covered = set()
+        for match in chosen:
+            covered |= match.covered_tags
+        uncovered = all_tags - covered
+
+        parts: list[PlanPart] = []
+        for match in chosen:
+            columns = tuple(self._needed_columns(query, match.covered_tags))
+            parts.append(CachePart(match=match, columns=columns))
+
+        remote_cost = 0.0
+        local_cost = sum(self._derive_cost(m) for m in chosen)
+        if uncovered:
+            sub = self._remote_sub_query(query, frozenset(uncovered))
+            parts.append(
+                RemotePart(
+                    sub_query=sub,
+                    columns=tuple(str(p) for p in sub.projection),
+                    tags=frozenset(uncovered),
+                )
+            )
+            remote_cost = self._remote_cost(sub)
+
+        # Compare the hybrid plan against shipping the whole query.
+        if chosen and uncovered:
+            whole_remote = self._remote_cost(query)
+            hybrid = (
+                max(remote_cost, local_cost)
+                if self.features.parallel
+                else remote_cost + local_cost
+            )
+            if whole_remote < hybrid:
+                sub = query
+                parts = [
+                    RemotePart(
+                        sub_query=query,
+                        columns=tuple(
+                            str(p) for p in query.projection if not isinstance(p, ConstProj)
+                        ),
+                        tags=frozenset(all_tags),
+                    )
+                ]
+                notes = notes + ["whole-query shipping beat the hybrid split"]
+                return QueryPlan(
+                    query,
+                    "remote",
+                    parts=tuple(parts),
+                    estimated_remote_cost=whole_remote,
+                    notes=notes,
+                )
+
+        cross = tuple(self._cross_conditions(query, parts))
+        strategy = "remote" if not chosen else "hybrid"
+        return QueryPlan(
+            query,
+            strategy,
+            parts=tuple(parts),
+            cross_conditions=cross,
+            estimated_local_cost=local_cost,
+            estimated_remote_cost=remote_cost,
+            estimated_rows=self.estimate_rows(query),
+            notes=notes,
+        )
+
+    def _cross_conditions(
+        self, query: PSJQuery, parts: list[PlanPart]
+    ) -> list[Comparison]:
+        """Conditions spanning more than one part (applied at combine)."""
+        part_prefixes = [
+            tuple(tag + "." for tag in part.tags) for part in parts
+        ]
+
+        def part_of(col: str) -> int | None:
+            for index, prefixes in enumerate(part_prefixes):
+                if col.startswith(prefixes):
+                    return index
+            return None
+
+        out = []
+        for condition in query.conditions:
+            cols = condition.columns()
+            if not cols:
+                continue
+            owners = {part_of(c) for c in cols}
+            if len(owners) > 1:
+                out.append(condition)
+        return out
+
+    def _remote_sub_query(self, query: PSJQuery, tags: frozenset[str]) -> PSJQuery:
+        """The uncovered component as a self-contained PSJ query."""
+        prefixes = tuple(tag + "." for tag in tags)
+        occurrences = tuple(o for o in query.occurrences if o.tag in tags)
+        conditions = tuple(
+            c
+            for c in query.conditions
+            if c.columns() and all(col.startswith(prefixes) for col in c.columns())
+        )
+        projection = tuple(self._needed_columns(query, tags))
+        return PSJQuery(
+            f"{query.name}__rest",
+            occurrences,
+            conditions,
+            projection,
+        )
+
+    # -- cost model ---------------------------------------------------------------------
+    def estimate_rows(self, psj: PSJQuery) -> float:
+        """Rough output-cardinality estimate (uniformity + independence)."""
+        rows = 1.0
+        for occ in psj.occurrences:
+            stats = self.stats_of(occ.pred)
+            local = psj.column_conditions(occ.tag)
+            renamed = [
+                c.rename_columns({col: _position_attr(col) for col in c.columns()})
+                for c in local
+            ]
+            positional = _positional_stats(stats)
+            rows *= max(positional.estimate_selection(renamed), 0.0)
+        # One join-selectivity factor per cross-occurrence equality.
+        for condition in psj.conditions:
+            if condition.op == "=" and condition.is_col_col():
+                left_tag, _ = _split(condition.left.name)
+                right_tag, _ = _split(condition.right.name)
+                if left_tag != right_tag:
+                    rows *= 0.1
+        return max(rows, 0.0)
+
+    def _remote_cost(self, psj: PSJQuery) -> float:
+        touched = sum(self.stats_of(occ.pred).cardinality for occ in psj.occurrences)
+        shipped = self.estimate_rows(psj)
+        return (
+            self.profile.remote_latency
+            + self.profile.server_per_tuple * touched
+            + self.profile.transfer_per_tuple * shipped
+        )
+
+    def _derive_cost(self, match: SubsumptionMatch) -> float:
+        rows = match.element.rows_materialized()
+        return self.profile.cache_per_tuple * (rows + 1)
+
+
+def _split(col: str) -> tuple[str, int]:
+    from repro.caql.psj import parse_column
+
+    return parse_column(col)
+
+
+def _position_attr(col: str) -> str:
+    _tag, position = _split(col)
+    return f"a{position}"
+
+
+def _positional_stats(stats: RelationStatistics) -> RelationStatistics:
+    """Statistics re-keyed to positional attribute names ``a0..``.
+
+    Remote statistics are keyed by real attribute names; PSJ conditions use
+    positions.  The remote schema's attribute order gives the mapping —
+    but statistics objects do not carry the schema, so this helper re-keys
+    by enumeration order, which :class:`RelationStatistics.from_relation`
+    preserves (dicts are ordered).
+    """
+    out = RelationStatistics(cardinality=stats.cardinality)
+    for index, (_name, attr) in enumerate(stats.attributes.items()):
+        out.attributes[f"a{index}"] = attr
+    return out

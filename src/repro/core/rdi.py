@@ -1,0 +1,98 @@
+"""The Remote DBMS Interface (RDI).
+
+Section 5: "Queries to the remote DBMS are translated from CAQL to the DML
+of the remote DBMS by a DBMS specific translator in the Remote DBMS
+Interface (RDI).  The RDI interacts with the remote DBMS via a standard
+communication protocol, and buffers the data returned by the DBMS prior to
+passing buffer control to the Cache Manager."
+
+The RDI owns the CMS's copy of the remote schema (Section 5: the Cache
+Manager keeps "(a copy of) the remote database schema") so repeated schema
+lookups do not pay communication cost.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import UnknownRelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.statistics import RelationStatistics
+from repro.remote.server import RemoteDBMS
+from repro.caql.psj import PSJQuery
+from repro.caql.translate import sql_from_psj
+
+
+class RemoteInterface:
+    """Translates PSJ queries to DML, executes them, rebuilds results."""
+
+    def __init__(self, server: RemoteDBMS, buffer_size: int = 64):
+        self._server = server
+        self._buffer_size = buffer_size
+        self._schema_cache: dict[str, Schema] = {}
+        self._statistics_cache: dict[str, RelationStatistics] = {}
+
+    # -- metadata (cached copies) ---------------------------------------------------
+    def schema_of(self, table: str) -> Schema:
+        """Remote schema, from the local copy after the first round trip."""
+        schema = self._schema_cache.get(table)
+        if schema is None:
+            schema = self._server.schema_of(table)  # one charged round trip
+            self._schema_cache[table] = schema
+        return schema
+
+    def statistics_of(self, table: str) -> RelationStatistics:
+        """Remote statistics, cached after the first round trip."""
+        statistics = self._statistics_cache.get(table)
+        if statistics is None:
+            statistics = self._server.statistics_of(table)
+            self._statistics_cache[table] = statistics
+        return statistics
+
+    def has_table(self, table: str) -> bool:
+        """True when the remote database has ``table``."""
+        if table in self._schema_cache:
+            return True
+        return self._server.has_table(table)
+
+    # -- execution ---------------------------------------------------------------------
+    def fetch(self, psj: PSJQuery) -> Relation:
+        """Translate, execute with buffering/pipelining, rebuild the result.
+
+        The buffered stream is drained fully here: remote fetches feed the
+        cache, so the whole result is wanted (lazy production only applies
+        to cache-resident data, Section 5.1).
+        """
+        translation = sql_from_psj(psj, self.schema_of)
+        stream = self._server.execute_stream(translation.query, self._buffer_size)
+        rows: list[tuple] = []
+        while True:
+            buffer = stream.next_buffer()
+            if not buffer:
+                break
+            rows.extend(buffer)
+        return translation.rebuild(rows)
+
+    def fetch_base_relation(self, table: str) -> Relation:
+        """Fetch one whole base table (prefetch/generalization path)."""
+        from repro.remote.sql import FetchTableQuery
+
+        if not self.has_table(table):
+            raise UnknownRelationError(table)
+        stream = self._server.execute_stream(FetchTableQuery(table), self._buffer_size)
+        rows: list[tuple] = []
+        while True:
+            buffer = stream.next_buffer()
+            if not buffer:
+                break
+            rows.extend(buffer)
+        # Results are exposed under positional attribute names, matching
+        # how PSJ queries address base relations.
+        arity = len(stream.schema.attributes)
+        schema = Schema(table, tuple(f"a{i}" for i in range(arity)))
+        return Relation(schema, rows)
+
+    def estimate_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
+        """Planner hook: simulated seconds a remote request would cost."""
+        return self._server.network.request_cost(
+            int(tuples_touched), int(tuples_shipped)
+        )

@@ -1,0 +1,327 @@
+"""Subsumption between cache elements and CAQL queries (Section 5.3.2).
+
+Given a query Q in PSJ form, find cache elements E such that E ⊇ Q_c for a
+component Q_c of Q ("there exists an E_i ⊇ Q_c, where ⊇ stands for
+'subsumes' or 'can be used to derive'"), together with the *remainder
+operations* (selection + projection) that derive Q_c's contribution from
+E's stored rows.
+
+The algorithm follows the paper's two steps, strengthened with the
+range-condition implication engine:
+
+1. **Candidate filtering** through the ``(predicate name, cache element)``
+   index, with one-directional matching: every occurrence in E's
+   definition must map (injectively, same predicate and arity) onto an
+   occurrence of Q.
+2. **Condition checking**: under that occurrence mapping, every condition
+   of E must be implied by Q's conditions (E is no more restrictive than
+   Q), and every condition of Q over the covered occurrences must be
+   either implied by E's conditions or re-applicable on E's projection.
+
+Soundness argument for a produced match: E's stored rows are exactly the
+projection of all tuples satisfying E's conditions.  Since Q's conditions
+imply E's (under the mapping), every tuple combination satisfying Q over
+the covered occurrences appears in E; re-applying Q's non-implied covered
+conditions (all of whose columns survive E's projection — checked) then
+yields exactly the covered component of Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.relational.expressions import Col, Comparison
+from repro.relational.generator import GeneratorRelation
+from repro.relational.operators import select, select_iter
+from repro.relational.relation import Relation
+from repro.caql.eval import result_schema
+from repro.caql.implication import ConditionSet
+from repro.caql.psj import ConstProj, PSJQuery, column, parse_column
+from repro.core.cache import Cache, CacheElement
+
+
+@dataclass(frozen=True)
+class SubsumptionMatch:
+    """A usable derivation of (part of) a query from one cache element."""
+
+    element: CacheElement
+    #: element occurrence tag -> query occurrence tag.
+    tag_mapping: tuple[tuple[str, str], ...]
+    #: Query occurrence tags covered by this element.
+    covered_tags: frozenset[str]
+    #: query column -> attribute name in the element's stored relation.
+    column_map: tuple[tuple[str, str], ...]
+    #: Query conditions to re-apply, rewritten over the element's attributes.
+    residual_conditions: tuple[Comparison, ...]
+    #: True when the element covers every occurrence of the query.
+    is_full: bool
+    #: For full matches: the query's projection over element attributes.
+    projection: tuple[object, ...] | None = None
+
+    @property
+    def exact(self) -> bool:
+        """True when no remainder work is needed beyond projection."""
+        return self.is_full and not self.residual_conditions
+
+    def available(self) -> dict[str, str]:
+        """query column -> element attribute, as a dict."""
+        return dict(self.column_map)
+
+    def __str__(self) -> str:
+        kind = "full" if self.is_full else f"partial({len(self.covered_tags)} occ)"
+        return f"{self.element.element_id} ⊇ query [{kind}, {len(self.residual_conditions)} residual]"
+
+
+def _rename_condition(condition: Comparison, tag_map: dict[str, str]) -> Comparison:
+    """Map a condition from element column space into query column space."""
+
+    def rename(name: str) -> str:
+        tag, position = parse_column(name)
+        return column(tag_map[tag], position)
+
+    mapping = {}
+    for col in condition.columns():
+        mapping[col] = rename(col)
+    return condition.rename_columns(mapping)
+
+
+def _assignments(
+    element_def: PSJQuery, query: PSJQuery
+) -> Iterator[dict[str, str]]:
+    """All injective mappings of element occurrences onto query occurrences
+    with matching predicate and arity."""
+    q_by_signature: dict[tuple[str, int], list[str]] = {}
+    for occ in query.occurrences:
+        q_by_signature.setdefault((occ.pred, occ.arity), []).append(occ.tag)
+
+    e_occurrences = list(element_def.occurrences)
+
+    def backtrack(index: int, used: set[str], acc: dict[str, str]) -> Iterator[dict[str, str]]:
+        if index == len(e_occurrences):
+            yield dict(acc)
+            return
+        occ = e_occurrences[index]
+        for q_tag in q_by_signature.get((occ.pred, occ.arity), ()):
+            if q_tag in used:
+                continue
+            used.add(q_tag)
+            acc[occ.tag] = q_tag
+            yield from backtrack(index + 1, used, acc)
+            used.discard(q_tag)
+            del acc[occ.tag]
+
+    yield from backtrack(0, set(), {})
+
+
+def match_element(element: CacheElement, query: PSJQuery) -> Iterator[SubsumptionMatch]:
+    """All ways ``element`` can derive a component of ``query``."""
+    element_def = element.definition
+    if not element_def.occurrences:
+        return
+    query_conditions = ConditionSet(query.conditions)
+
+    for tag_map in _assignments(element_def, query):
+        renamed = [_rename_condition(c, tag_map) for c in element_def.conditions]
+        if not all(query_conditions.implies(c) for c in renamed):
+            continue
+
+        covered = frozenset(tag_map.values())
+        element_guarantees = ConditionSet(renamed)
+
+        # Availability: which query columns survive the element's projection.
+        available: dict[str, str] = {}
+        for index, entry in enumerate(element_def.projection):
+            if isinstance(entry, ConstProj):
+                continue
+            tag, position = parse_column(entry)
+            q_col = column(tag_map[tag], position)
+            available.setdefault(q_col, f"a{index}")
+
+        covered_prefixes = tuple(tag + "." for tag in covered)
+
+        def is_covered_col(name: str) -> bool:
+            return name.startswith(covered_prefixes)
+
+        # Classify query conditions over the covered occurrences.
+        residual: list[Comparison] = []
+        feasible = True
+        for condition in query.conditions:
+            cols = condition.columns()
+            if not cols:
+                continue
+            inside = [c for c in cols if is_covered_col(c)]
+            if not inside:
+                continue  # entirely about uncovered occurrences
+            if len(inside) == len(cols):
+                # Entirely covered: skip if the element guarantees it,
+                # else re-apply (requires availability).
+                if element_guarantees.implies(condition):
+                    continue
+                if not all(c in available for c in cols):
+                    feasible = False
+                    break
+                residual.append(
+                    condition.rename_columns({c: available[c] for c in cols})
+                )
+            else:
+                # Crosses the boundary: the covered side must be available
+                # for the later join against uncovered parts.
+                if not all(c in available for c in inside):
+                    feasible = False
+                    break
+        if not feasible:
+            continue
+
+        # Projection needs over covered occurrences must be available.
+        is_full = covered == {occ.tag for occ in query.occurrences}
+        projection: list[object] | None = [] if is_full else None
+        for entry in query.projection:
+            if isinstance(entry, ConstProj):
+                if is_full:
+                    projection.append(entry)
+                continue
+            if is_covered_col(entry):
+                if entry not in available:
+                    feasible = False
+                    break
+                if is_full:
+                    projection.append(available[entry])
+            elif is_full:  # pragma: no cover - full covers everything
+                feasible = False
+                break
+        if not feasible:
+            continue
+
+        yield SubsumptionMatch(
+            element=element,
+            tag_mapping=tuple(sorted(tag_map.items())),
+            covered_tags=covered,
+            column_map=tuple(sorted(available.items())),
+            residual_conditions=tuple(residual),
+            is_full=is_full,
+            projection=tuple(projection) if projection is not None else None,
+        )
+
+
+def find_relevant(cache: Cache, query: PSJQuery) -> list[SubsumptionMatch]:
+    """All subsumption matches from the cache for ``query``.
+
+    This is the set of relevant elements R(E_i) of Q (Section 5.3.2); the
+    planner chooses among them.  Candidates are prefiltered through the
+    cache's predicate index, full matches first, larger coverage first.
+    """
+    query_preds = set(query.predicates())
+    seen: set[str] = set()
+    matches: list[SubsumptionMatch] = []
+    for pred in query_preds:
+        for element in cache.elements_for_predicate(pred):
+            if element.element_id in seen:
+                continue
+            seen.add(element.element_id)
+            # Quick reject: every element predicate must appear in the query.
+            if not set(element.definition.predicates()) <= query_preds:
+                continue
+            matches.extend(match_element(element, query))
+    matches.sort(key=lambda m: (not m.is_full, -len(m.covered_tags), len(m.residual_conditions)))
+    return matches
+
+
+# ---------------------------------------------------------------------------
+# remainder derivation
+# ---------------------------------------------------------------------------
+
+
+def derive_full(
+    match: SubsumptionMatch, query: PSJQuery, prefiltered: Relation | None = None
+) -> Relation:
+    """Eagerly derive the whole query result from a full match.
+
+    ``prefiltered`` lets the caller supply element rows already restricted
+    by the residual conditions (the index fast path); otherwise the
+    residual selection runs here.
+    """
+    if not match.is_full or match.projection is None:
+        raise ValueError("derive_full requires a full match")
+    if prefiltered is not None:
+        source = filtered = prefiltered
+    else:
+        source = match.element.extension()
+        filtered = (
+            select(source, list(match.residual_conditions))
+            if match.residual_conditions
+            else source
+        )
+    schema = result_schema(query.name, query.arity)
+    rows = (
+        tuple(
+            entry.value if isinstance(entry, ConstProj) else row[source.schema.position(entry)]
+            for entry in match.projection
+        )
+        for row in filtered
+    )
+    if not match.projection:
+        return Relation(schema, [(True,)] if len(filtered) else [])
+    return Relation(schema, rows)
+
+
+def derive_full_lazy(match: SubsumptionMatch, query: PSJQuery) -> GeneratorRelation:
+    """Lazily derive the whole query result from a full match.
+
+    Legal because all required data is already in the cache — the paper's
+    precondition for lazy evaluation.
+    """
+    if not match.is_full or match.projection is None:
+        raise ValueError("derive_full_lazy requires a full match")
+    schema = result_schema(query.name, query.arity)
+
+    def source() -> Iterator[tuple]:
+        stored = match.element.relation  # may itself be a generator
+        stored_schema = (
+            stored.schema if isinstance(stored, GeneratorRelation) else stored.schema
+        )
+        rows: Iterator[tuple] = iter(stored)
+        if match.residual_conditions:
+            rows = select_iter(rows, stored_schema, list(match.residual_conditions))
+        if not match.projection:
+            for _row in rows:
+                yield (True,)
+                return
+            return
+        positions = [
+            ("const", entry.value)
+            if isinstance(entry, ConstProj)
+            else ("col", stored_schema.position(entry))
+            for entry in match.projection
+        ]
+        for row in rows:
+            yield tuple(
+                value if kind == "const" else row[value] for kind, value in positions
+            )
+
+    return GeneratorRelation(schema, source)
+
+
+def derive_part(match: SubsumptionMatch, needed_columns: list[str]) -> Relation:
+    """Derive a partial match's contribution as a relation whose attributes
+    are the *query* column names in ``needed_columns`` (all of which must
+    be available from the element)."""
+    available = match.available()
+    missing = [c for c in needed_columns if c not in available]
+    if missing:
+        raise ValueError(f"columns not available from {match.element.element_id}: {missing}")
+    source = match.element.extension()
+    filtered = (
+        select(source, list(match.residual_conditions))
+        if match.residual_conditions
+        else source
+    )
+    from repro.relational.schema import Schema
+
+    if not needed_columns:
+        # Pure existence contribution: one boolean column.
+        schema = Schema(match.element.element_id, (f"_exists_{match.element.element_id}",))
+        return Relation(schema, [(True,)] if len(filtered) else [])
+    schema = Schema(match.element.element_id, tuple(needed_columns))
+    positions = [source.schema.position(available[c]) for c in needed_columns]
+    return Relation(schema, (tuple(row[i] for i in positions) for row in filtered))

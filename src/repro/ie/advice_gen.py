@@ -1,0 +1,55 @@
+"""Advice generation (Section 4.2).
+
+Bundles the three advice forms for a session: the relevant base-relation
+list (the "simplest kind of advice"), the view specifications, and the
+path expression — all computed from the shaped problem graph.
+"""
+
+from __future__ import annotations
+
+from repro.logic.kb import KnowledgeBase
+from repro.logic.terms import Atom
+from repro.advice.language import AdviceSet
+from repro.ie.path_creator import create_path_expression
+from repro.ie.problem_graph import OrNode
+from repro.ie.view_specifier import SpecifierConfig, SpecifierResult, specify_views
+
+
+def generate_advice(
+    root: OrNode,
+    kb: KnowledgeBase,
+    query: Atom,
+    config: SpecifierConfig | None = None,
+) -> tuple[AdviceSet, SpecifierResult]:
+    """Views + path expression + relevant relations for one AI query.
+
+    Returns both the advice set (for the CMS) and the specifier result
+    (for the controller, which shares its view registry).
+    """
+    views = specify_views(root, kb, config)
+    if views.root_view is not None:
+        # AI query directly on a database relation: one synthetic pattern.
+        from repro.advice.path_expression import QueryPattern, Sequence
+
+        view = views.by_name[views.root_view]
+        args = tuple(
+            f"{term}{annotation}"
+            for term, annotation in zip(view.definition.answers, view.annotations)
+        )
+        path = Sequence((QueryPattern(view.name, args),), lower=1, upper=1)
+    else:
+        path = create_path_expression(root, kb, views)
+    relevant = tuple(sorted(kb.relevant_database_relations(query)))
+    advice = AdviceSet.from_views(
+        list(views.views),
+        path_expression=path,
+        relevant_relations=relevant,
+    )
+    return advice, views
+
+
+def simplest_advice(kb: KnowledgeBase, query: Atom) -> AdviceSet:
+    """Only the unordered list of relevant base relations (Section 4.2)."""
+    return AdviceSet(
+        relevant_relations=tuple(sorted(kb.relevant_database_relations(query)))
+    )

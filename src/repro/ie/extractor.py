@@ -1,0 +1,81 @@
+"""The problem graph extractor (Section 4.1).
+
+"The problem graph extractor extracts from the predicate connection graph
+that subgraph based on rules and second-order knowledge relevant to the AI
+query. ... Problem graphs are constructed by performing partial evaluation
+of an AI query. ... the evaluation procedure is applied only to relations
+that are user-defined and not to database relations or to built-in
+relations."
+
+Partial evaluation here means: each expansion step renames a clause apart,
+unifies its head with the goal, and applies the unifier to the body — so
+constants already flow downward during extraction (the shaper pushes them
+further and culls).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InferenceError
+from repro.logic.kb import KnowledgeBase
+from repro.logic.terms import Atom, rename_apart
+from repro.logic.unify import unify
+from repro.ie.problem_graph import (
+    BUILTIN,
+    DATABASE,
+    RECURSIVE_REF,
+    UNKNOWN,
+    USER,
+    AndNode,
+    OrNode,
+)
+
+#: Guard against pathological rule sets (not recursion — that is handled
+#: by the single-instance rule — but sheer breadth).
+MAX_NODES = 10_000
+
+
+def extract_problem_graph(kb: KnowledgeBase, query: Atom) -> OrNode:
+    """Build the problem graph for an AI query."""
+    budget = [MAX_NODES]
+    return _expand(kb, query, on_path=frozenset(), budget=budget)
+
+
+def _expand(kb: KnowledgeBase, goal: Atom, on_path: frozenset, budget: list) -> OrNode:
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise InferenceError("problem graph exceeds the node budget")
+
+    positive = goal.positive()
+    kind = kb.classify(positive)
+    if kind == "database":
+        return OrNode(goal, DATABASE)
+    if kind == "builtin":
+        return OrNode(goal, BUILTIN)
+    if kind == "unknown":
+        return OrNode(goal, UNKNOWN)
+
+    signature = positive.signature
+    if signature in on_path:
+        # One instance of each recursive definition per occurrence: this
+        # occurrence is a reference back, not a re-expansion.
+        return OrNode(goal, RECURSIVE_REF)
+
+    node = OrNode(goal, USER)
+    for clause in kb.clauses_for(positive):
+        renamed_atoms, _renaming = rename_apart([clause.head, *clause.body])
+        head, *body = renamed_atoms
+        unifier = unify(head, positive)
+        if unifier is None:
+            continue  # head clash with pushed constants: culled already
+        and_node = AndNode(
+            rule=clause,
+            rule_id=kb.rule_id(clause),
+            head=unifier.apply(head),
+        )
+        for literal in body:
+            child_goal = unifier.apply(literal)
+            and_node.body.append(
+                _expand(kb, child_goal, on_path | {signature}, budget)
+            )
+        node.alternatives.append(and_node)
+    return node

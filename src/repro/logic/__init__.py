@@ -1,0 +1,57 @@
+"""Logic substrate: terms, unification, parsing, knowledge bases, SOAs."""
+
+from repro.logic.builtins import DEFAULT_BUILTINS, BuiltinRegistry
+from repro.logic.kb import KnowledgeBase, knowledge_base_from_source
+from repro.logic.parser import (
+    Clause,
+    parse_atom,
+    parse_clause,
+    parse_literals,
+    parse_program,
+)
+from repro.logic.soa import (
+    FunctionalDependency,
+    MutualExclusion,
+    RecursiveStructure,
+    SOARegistry,
+)
+from repro.logic.terms import (
+    EMPTY_SUBSTITUTION,
+    Atom,
+    Const,
+    Substitution,
+    Term,
+    Var,
+    fresh_var,
+    rename_apart,
+)
+from repro.logic.unify import instance_of, match_one_way, unify, unify_terms, variant
+
+__all__ = [
+    "Atom",
+    "BuiltinRegistry",
+    "Clause",
+    "Const",
+    "DEFAULT_BUILTINS",
+    "EMPTY_SUBSTITUTION",
+    "FunctionalDependency",
+    "KnowledgeBase",
+    "MutualExclusion",
+    "RecursiveStructure",
+    "SOARegistry",
+    "Substitution",
+    "Term",
+    "Var",
+    "fresh_var",
+    "instance_of",
+    "knowledge_base_from_source",
+    "match_one_way",
+    "parse_atom",
+    "parse_clause",
+    "parse_literals",
+    "parse_program",
+    "rename_apart",
+    "unify",
+    "unify_terms",
+    "variant",
+]

@@ -1,0 +1,72 @@
+"""Relational substrate: schemas, relations, generators, indexes, operators."""
+
+from repro.relational.expressions import (
+    Col,
+    Comparison,
+    Lit,
+    col_eq,
+    compile_conjunction,
+    eq,
+)
+from repro.relational.generator import (
+    GeneratorRelation,
+    generator_from_relation,
+    generator_from_rows,
+)
+from repro.relational.index import HashIndex, IndexSet
+from repro.relational.operators import (
+    aggregate,
+    cross,
+    difference,
+    intersection,
+    join,
+    join_iter,
+    project,
+    project_iter,
+    select,
+    select_iter,
+    select_via_index,
+    transitive_closure,
+    union,
+)
+from repro.relational.relation import Relation, relation_from_columns
+from repro.relational.schema import Schema, generic_schema
+from repro.relational.statistics import (
+    AttributeStats,
+    RelationStatistics,
+    estimate_join_size,
+)
+
+__all__ = [
+    "AttributeStats",
+    "Col",
+    "Comparison",
+    "GeneratorRelation",
+    "HashIndex",
+    "IndexSet",
+    "Lit",
+    "Relation",
+    "RelationStatistics",
+    "Schema",
+    "aggregate",
+    "col_eq",
+    "compile_conjunction",
+    "cross",
+    "difference",
+    "eq",
+    "estimate_join_size",
+    "generator_from_relation",
+    "generator_from_rows",
+    "generic_schema",
+    "intersection",
+    "join",
+    "join_iter",
+    "project",
+    "project_iter",
+    "relation_from_columns",
+    "select",
+    "select_iter",
+    "select_via_index",
+    "transitive_closure",
+    "union",
+]

@@ -1,0 +1,171 @@
+"""Row-level predicates and scalar expressions over relation rows.
+
+Conditions are built from attribute references and literals combined with
+comparison operators; conjunctions of these form the selection/join
+conditions of PSJ queries.  Each condition compiles against a schema to a
+fast row predicate.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Schema
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+#: Operator with both sides swapped (for normalization).
+FLIPPED = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+#: The negation of each operator.
+NEGATED = {"=": "!=", "!=": "=", "<": ">=", ">": "<=", "<=": ">", ">=": "<"}
+
+
+@dataclass(frozen=True, slots=True)
+class Col:
+    """A reference to an attribute by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A literal value."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[Col, Lit]
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``left op right`` where the operands are columns or literals."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SchemaError(f"unknown comparison operator {self.op!r}")
+
+    def normalized(self) -> "Comparison":
+        """Constant, if any, on the right; column names ordered on col-col.
+
+        Normalization makes structural equality of conditions meaningful,
+        which the subsumption checker relies on.
+        """
+        left, op, right = self.left, self.op, self.right
+        if isinstance(left, Lit) and isinstance(right, Col):
+            left, op, right = right, FLIPPED[op], left
+        elif isinstance(left, Col) and isinstance(right, Col) and right.name < left.name:
+            left, op, right = right, FLIPPED[op], left
+        return Comparison(left, op, right)
+
+    def negated(self) -> "Comparison":
+        """The logically complementary condition."""
+        return Comparison(self.left, NEGATED[self.op], self.right)
+
+    def columns(self) -> set[str]:
+        """The column names this condition references."""
+        cols = set()
+        if isinstance(self.left, Col):
+            cols.add(self.left.name)
+        if isinstance(self.right, Col):
+            cols.add(self.right.name)
+        return cols
+
+    def is_col_const(self) -> bool:
+        """True for ``column op literal`` (after normalization)."""
+        norm = self.normalized()
+        return isinstance(norm.left, Col) and isinstance(norm.right, Lit)
+
+    def is_col_col(self) -> bool:
+        """True for a condition between two columns."""
+        return isinstance(self.left, Col) and isinstance(self.right, Col)
+
+    def compile(self, schema: Schema) -> Callable[[tuple], bool]:
+        """A fast row predicate bound to attribute positions of ``schema``."""
+        op = _OPS[self.op]
+        left = self._operand_getter(self.left, schema)
+        right = self._operand_getter(self.right, schema)
+
+        def predicate(row: tuple) -> bool:
+            try:
+                return op(left(row), right(row))
+            except TypeError:
+                return False
+
+        return predicate
+
+    @staticmethod
+    def _operand_getter(operand: Operand, schema: Schema) -> Callable[[tuple], object]:
+        if isinstance(operand, Col):
+            position = schema.position(operand.name)
+            return operator.itemgetter(position)
+        value = operand.value
+        return lambda _row: value
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Comparison":
+        """A copy with column names translated through ``mapping``."""
+
+        def translate(operand: Operand) -> Operand:
+            if isinstance(operand, Col):
+                return Col(mapping.get(operand.name, operand.name))
+            return operand
+
+        return Comparison(translate(self.left), self.op, translate(self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def holds(left: object, op: str, right: object) -> bool:
+    """Evaluate ``left op right`` on concrete values (False on type clash)."""
+    try:
+        return _OPS[op](left, right)
+    except TypeError:
+        return False
+
+
+def eq(column: str, value: object) -> Comparison:
+    """Shorthand for ``Col(column) = Lit(value)``."""
+    return Comparison(Col(column), "=", Lit(value))
+
+
+def col_eq(left: str, right: str) -> Comparison:
+    """Shorthand for an equi-join condition between two columns."""
+    return Comparison(Col(left), "=", Col(right))
+
+
+def compile_conjunction(
+    conditions: Sequence[Comparison], schema: Schema
+) -> Callable[[tuple], bool]:
+    """A row predicate that is the AND of every condition."""
+    if not conditions:
+        return lambda _row: True
+    compiled = [c.compile(schema) for c in conditions]
+    if len(compiled) == 1:
+        return compiled[0]
+
+    def predicate(row: tuple) -> bool:
+        return all(check(row) for check in compiled)
+
+    return predicate

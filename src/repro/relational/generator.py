@@ -1,0 +1,125 @@
+"""Generator (lazy) representation of relations.
+
+Section 5.1 of the paper: "The CMS represents a relation as either the full
+extension of the relation or as a *generator* which produces a single tuple
+on demand."  A :class:`GeneratorRelation` wraps a pull-based pipeline:
+
+* tuples are produced one at a time as the consumer asks for them;
+* produced tuples are **memoized**, so several readers (the paper's
+  "co-existing uses") share one underlying computation;
+* the generator can be **promoted** to a full extension at any time by
+  draining it, which is how the CMS converts a lazy element to an eager one
+  when an index is wanted.
+
+Duplicate elimination matches :class:`Relation`: the memoized prefix is a
+set-semantics relation, so a generator never yields the same row twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: A factory producing a fresh row iterator (so generators can be restarted).
+RowSource = Callable[[], Iterator[tuple]]
+
+
+class GeneratorRelation:
+    """A lazily evaluated relation with a memoized prefix."""
+
+    __slots__ = ("schema", "_source", "_iterator", "_memo", "_exhausted", "on_produce")
+
+    def __init__(self, schema: Schema, source: RowSource):
+        self.schema = schema
+        self._source = source
+        self._iterator: Iterator[tuple] | None = None
+        self._memo = Relation(schema)
+        self._exhausted = False
+        #: Optional callback fired for each newly produced row (metrics hook).
+        self.on_produce: Callable[[tuple], None] | None = None
+
+    # -- production -------------------------------------------------------------
+    def _pull(self) -> tuple | None:
+        """Produce one new (deduplicated) row, or None when exhausted."""
+        if self._exhausted:
+            return None
+        if self._iterator is None:
+            self._iterator = self._source()
+        for row in self._iterator:
+            if not isinstance(row, tuple):
+                row = tuple(row)
+            if self._memo.insert(row):
+                if self.on_produce is not None:
+                    self.on_produce(row)
+                return row
+        self._exhausted = True
+        self._iterator = None
+        return None
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate over all rows, producing lazily past the memoized prefix.
+
+        Multiple concurrent iterators are safe: each replays the shared
+        memo first, then pulls new rows (which extend the memo for all).
+        """
+        index = 0
+        while True:
+            prefix = self._memo.rows
+            while index < len(prefix):
+                yield prefix[index]
+                index += 1
+            if self._exhausted:
+                return
+            row = self._pull()
+            if row is None:
+                return
+            # The pulled row landed in the memo; the outer loop re-reads it
+            # so concurrent producers are replayed in a consistent order.
+
+    def take(self, n: int) -> list[tuple]:
+        """The first ``n`` rows (producing only as many as needed)."""
+        out = []
+        for row in self:
+            out.append(row)
+            if len(out) >= n:
+                break
+        return out
+
+    # -- state ----------------------------------------------------------------------
+    @property
+    def produced_count(self) -> int:
+        """How many rows have actually been computed so far."""
+        return len(self._memo)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying source has been fully drained."""
+        return self._exhausted
+
+    def to_extension(self) -> Relation:
+        """Drain the generator and return the full extension.
+
+        The memo *is* the extension afterwards, so this is idempotent and
+        costs nothing the second time.
+        """
+        while self._pull() is not None:
+            pass
+        return self._memo
+
+    def restart(self) -> None:
+        """Forget all memoized rows and recompute from the source."""
+        self._memo = Relation(self.schema)
+        self._iterator = None
+        self._exhausted = False
+
+
+def generator_from_rows(schema: Schema, rows: list[tuple]) -> GeneratorRelation:
+    """A generator over a fixed row list (mostly for tests)."""
+    return GeneratorRelation(schema, lambda: iter(list(rows)))
+
+
+def generator_from_relation(relation: Relation) -> GeneratorRelation:
+    """A generator view of an existing extension."""
+    return GeneratorRelation(relation.schema, lambda: iter(relation.rows))

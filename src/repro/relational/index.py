@@ -1,0 +1,111 @@
+"""Hash indexes over relation extensions.
+
+Section 5.4: the Query Processor "uses hash indices when available to speed
+up joins and some selections"; Section 4.2.1: consumer annotations in advice
+mark attributes as "prime candidates for indexing".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.relational.relation import Relation
+
+
+class HashIndex:
+    """A hash index on one or more attributes of a relation extension.
+
+    The index is built once from the relation's current rows; callers that
+    mutate the relation afterwards must rebuild (cache elements are
+    immutable once cached, so this suits the CMS).
+    """
+
+    __slots__ = ("attributes", "_positions", "_buckets", "_probes", "_source_len")
+
+    def __init__(self, relation: Relation, attributes: tuple[str, ...] | list[str]):
+        self.attributes = tuple(attributes)
+        self._positions = relation.schema.positions(self.attributes)
+        self._buckets: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in relation:
+            key = tuple(row[i] for i in self._positions)
+            self._buckets[key].append(row)
+        self._probes = 0
+        self._source_len = len(relation)
+
+    def lookup(self, values: tuple) -> list[tuple]:
+        """Rows whose indexed attributes equal ``values``."""
+        if not isinstance(values, tuple):
+            values = (values,)
+        self._probes += 1
+        return list(self._buckets.get(values, ()))
+
+    def lookup_iter(self, values: tuple) -> Iterator[tuple]:
+        """Iterator form of :meth:`lookup` (for lazy pipelines)."""
+        yield from self.lookup(values)
+
+    def __contains__(self, values: tuple) -> bool:
+        if not isinstance(values, tuple):
+            values = (values,)
+        return values in self._buckets
+
+    @property
+    def probe_count(self) -> int:
+        """How many lookups have been answered (metrics)."""
+        return self._probes
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct key values."""
+        return len(self._buckets)
+
+    @property
+    def build_size(self) -> int:
+        """How many rows were indexed (for cost accounting)."""
+        return self._source_len
+
+    def __repr__(self) -> str:
+        return f"HashIndex(on={self.attributes}, keys={self.key_count})"
+
+
+class IndexSet:
+    """The collection of indexes maintained for one cached relation."""
+
+    __slots__ = ("_relation", "_indexes")
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+
+    def ensure(self, attributes: tuple[str, ...] | list[str]) -> HashIndex:
+        """Return the index on ``attributes``, building it if absent."""
+        key = tuple(attributes)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(self._relation, key)
+            self._indexes[key] = index
+        return index
+
+    def get(self, attributes: tuple[str, ...] | list[str]) -> HashIndex | None:
+        """The existing index on ``attributes``, or None."""
+        return self._indexes.get(tuple(attributes))
+
+    def find_covering(self, attributes: set[str]) -> HashIndex | None:
+        """An existing index whose key is a subset of ``attributes``.
+
+        Such an index can answer an equality selection on ``attributes``
+        with a probe plus residual filtering.  Prefers the widest key.
+        """
+        best: HashIndex | None = None
+        for key, index in self._indexes.items():
+            if set(key) <= attributes and (best is None or len(key) > len(best.attributes)):
+                best = index
+        return best
+
+    @property
+    def attribute_sets(self) -> list[tuple[str, ...]]:
+        """Key attribute tuples of every maintained index."""
+        return list(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)

@@ -1,0 +1,282 @@
+"""Relational algebra operators, in eager and pipelined (lazy) forms.
+
+Eager operators map :class:`Relation` to :class:`Relation`.  Each has a
+pipelined twin (``*_iter``) operating on row iterators, used to assemble the
+generator representations of Section 5.1: a lazy cache element is a
+:class:`~repro.relational.generator.GeneratorRelation` whose source is a
+composition of these iterator stages.
+
+All operators use set semantics (matching :class:`Relation`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.common.errors import EvaluationError, SchemaError
+from repro.relational.expressions import Comparison, compile_conjunction
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+
+def select(relation: Relation, conditions: Sequence[Comparison]) -> Relation:
+    """Rows of ``relation`` satisfying every condition."""
+    predicate = compile_conjunction(conditions, relation.schema)
+    return Relation(relation.schema, (row for row in relation if predicate(row)))
+
+
+def select_iter(
+    rows: Iterable[tuple], schema: Schema, conditions: Sequence[Comparison]
+) -> Iterator[tuple]:
+    """Pipelined selection."""
+    predicate = compile_conjunction(conditions, schema)
+    return (row for row in rows if predicate(row))
+
+
+def select_via_index(
+    relation: Relation, index: HashIndex, values: tuple, residual: Sequence[Comparison] = ()
+) -> Relation:
+    """Index-assisted equality selection with optional residual filter."""
+    rows = index.lookup(values)
+    if residual:
+        predicate = compile_conjunction(residual, relation.schema)
+        rows = [row for row in rows if predicate(row)]
+    return Relation(relation.schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# projection
+# ---------------------------------------------------------------------------
+
+
+def project(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
+    """Projection onto ``attributes`` (duplicates eliminated)."""
+    schema = relation.schema.project(tuple(attributes), name)
+    positions = relation.schema.positions(tuple(attributes))
+    return Relation(schema, (tuple(row[i] for i in positions) for row in relation))
+
+
+def project_iter(
+    rows: Iterable[tuple], schema: Schema, attributes: Sequence[str]
+) -> Iterator[tuple]:
+    """Pipelined projection with streaming duplicate elimination."""
+    positions = schema.positions(tuple(attributes))
+    seen: set[tuple] = set()
+    for row in rows:
+        out = tuple(row[i] for i in positions)
+        if out not in seen:
+            seen.add(out)
+            yield out
+
+
+# ---------------------------------------------------------------------------
+# join
+# ---------------------------------------------------------------------------
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence[tuple[str, str]],
+    name: str = "join",
+    conditions: Sequence[Comparison] = (),
+) -> Relation:
+    """Equi-join on ``pairs`` of (left attribute, right attribute).
+
+    Implemented as a hash join with the smaller side as the build input.
+    ``conditions`` are extra predicates evaluated on the combined schema.
+    An empty ``pairs`` degenerates to a (filtered) cross product.
+    """
+    schema = left.schema.concat(right.schema, name)
+    if not pairs:
+        combined = (l + r for l in left for r in right)
+    else:
+        left_positions = left.schema.positions(tuple(p[0] for p in pairs))
+        right_positions = right.schema.positions(tuple(p[1] for p in pairs))
+        if len(left) <= len(right):
+            table: dict[tuple, list[tuple]] = {}
+            for row in left:
+                table.setdefault(tuple(row[i] for i in left_positions), []).append(row)
+            combined = (
+                l + r
+                for r in right
+                for l in table.get(tuple(r[i] for i in right_positions), ())
+            )
+        else:
+            table = {}
+            for row in right:
+                table.setdefault(tuple(row[i] for i in right_positions), []).append(row)
+            combined = (
+                l + r
+                for l in left
+                for r in table.get(tuple(l[i] for i in left_positions), ())
+            )
+    if conditions:
+        predicate = compile_conjunction(conditions, schema)
+        combined = (row for row in combined if predicate(row))
+    return Relation(schema, combined)
+
+
+def join_iter(
+    left_rows: Iterable[tuple],
+    left_schema: Schema,
+    right: Relation,
+    pairs: Sequence[tuple[str, str]],
+    conditions: Sequence[Comparison] = (),
+    name: str = "join",
+) -> Iterator[tuple]:
+    """Pipelined join: streams the left input, hashes the right relation.
+
+    The right side must be an extension (the paper's lazy evaluation only
+    applies when all inputs are cached).  The hash table on the right is
+    built on the first pulled row, so an unconsumed pipeline costs nothing.
+    """
+    schema = left_schema.concat(right.schema, name)
+    predicate = compile_conjunction(conditions, schema) if conditions else None
+    left_positions = left_schema.positions(tuple(p[0] for p in pairs)) if pairs else ()
+    table: dict[tuple, list[tuple]] | None = None
+
+    for l in left_rows:
+        if table is None:
+            table = {}
+            if pairs:
+                right_positions = right.schema.positions(tuple(p[1] for p in pairs))
+                for row in right:
+                    table.setdefault(tuple(row[i] for i in right_positions), []).append(row)
+            else:
+                table[()] = right.rows
+        key = tuple(l[i] for i in left_positions)
+        for r in table.get(key, ()):
+            out = l + r
+            if predicate is None or predicate(out):
+                yield out
+
+
+def cross(left: Relation, right: Relation, name: str = "cross") -> Relation:
+    """Cross product."""
+    return join(left, right, (), name)
+
+
+# ---------------------------------------------------------------------------
+# set operations
+# ---------------------------------------------------------------------------
+
+
+def _check_compatible(left: Relation, right: Relation, op: str) -> None:
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"{op}: arity mismatch ({left.schema.arity} vs {right.schema.arity})"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union (schema of the left operand)."""
+    _check_compatible(left, right, "union")
+    out = Relation(left.schema, left)
+    out.insert_all(iter(right))
+    return out
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Rows of ``left`` not in ``right``."""
+    _check_compatible(left, right, "difference")
+    exclude = set(iter(right))
+    return Relation(left.schema, (row for row in left if row not in exclude))
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Rows in both relations."""
+    _check_compatible(left, right, "intersection")
+    keep = set(iter(right))
+    return Relation(left.schema, (row for row in left if row in keep))
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+_AGG_FNS: dict[str, Callable[[list], object]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregations: Sequence[tuple[str, str, str]],
+    name: str = "agg",
+) -> Relation:
+    """Group-by aggregation.
+
+    ``aggregations`` is a list of ``(function, attribute, output_name)``;
+    functions are count/sum/min/max/avg.  ``count`` ignores its attribute.
+    With an empty ``group_by`` the whole relation is one group (and the
+    result has exactly one row, even for an empty input when using count).
+    """
+    for fn, _attr, _out in aggregations:
+        if fn not in _AGG_FNS:
+            raise EvaluationError(f"unknown aggregate function {fn!r}")
+    group_positions = relation.schema.positions(tuple(group_by))
+    agg_positions = [
+        relation.schema.position(attr) if fn != "count" else -1
+        for fn, attr, _out in aggregations
+    ]
+    groups: dict[tuple, list[tuple]] = {}
+    for row in relation:
+        key = tuple(row[i] for i in group_positions)
+        groups.setdefault(key, []).append(row)
+    if not groups and not group_by:
+        groups[()] = []
+
+    out_attrs = tuple(group_by) + tuple(out for _fn, _attr, out in aggregations)
+    schema = Schema(name, out_attrs)
+    rows = []
+    for key, members in groups.items():
+        values = []
+        for (fn, _attr, _out), position in zip(aggregations, agg_positions):
+            column = members if fn == "count" else [row[position] for row in members]
+            if fn != "count" and not column:
+                raise EvaluationError(f"aggregate {fn} over empty group")
+            values.append(_AGG_FNS[fn](column))
+        rows.append(key + tuple(values))
+    return Relation(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# fixed point (the paper's specialized operator for compiled DAPs)
+# ---------------------------------------------------------------------------
+
+
+def transitive_closure(relation: Relation, name: str = "closure") -> Relation:
+    """Transitive closure of a binary relation (semi-naive iteration).
+
+    This is the "fixed point operator" of Section 2, used by compiled
+    inference strategies to evaluate recursively-defined relations
+    set-at-a-time instead of unfolding rules tuple-at-a-time.
+    """
+    if relation.schema.arity != 2:
+        raise EvaluationError("transitive closure requires a binary relation")
+    schema = Schema(name, relation.schema.attributes)
+    closure = Relation(schema, relation)
+    successors: dict[object, set[object]] = {}
+    for a, b in relation:
+        successors.setdefault(a, set()).add(b)
+    delta = list(closure)
+    while delta:
+        new_rows = []
+        for a, b in delta:
+            for c in successors.get(b, ()):
+                candidate = (a, c)
+                if candidate not in closure:
+                    new_rows.append(candidate)
+        delta = [row for row in new_rows if closure.insert(row)]
+    return closure

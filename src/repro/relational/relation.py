@@ -1,0 +1,153 @@
+"""Relation extensions: a schema plus a concrete set of rows.
+
+This is the *extension* representation of Section 5.1 of the paper.  The
+*generator* representation lives in :mod:`repro.relational.generator`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Schema
+
+
+class Relation:
+    """An in-memory relation: schema + rows (set semantics, stable order).
+
+    Rows are tuples whose length must match the schema arity.  Duplicate
+    rows are silently dropped; insertion order of first occurrences is
+    preserved so results are deterministic.
+    """
+
+    __slots__ = ("schema", "_rows", "_row_set")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = ()):
+        self.schema = schema
+        self._rows: list[tuple] = []
+        self._row_set: set[tuple] = set()
+        for row in rows:
+            self.insert(row)
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, row: tuple) -> bool:
+        """Add a row; returns True if it was new."""
+        if not isinstance(row, tuple):
+            row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema {self.schema} "
+                f"(arity {self.schema.arity})"
+            )
+        if row in self._row_set:
+            return False
+        self._rows.append(row)
+        self._row_set.add(row)
+        return True
+
+    def insert_all(self, rows: Iterable[tuple]) -> int:
+        """Add many rows; returns how many were new."""
+        return sum(self.insert(row) for row in rows)
+
+    # -- access --------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self._row_set
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality: same schema attributes and same rows, any order."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.attributes == other.schema.attributes
+            and self._row_set == other._row_set
+        )
+
+    def __hash__(self):  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema}, {len(self)} rows)"
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The rows, in stable order (a copy; mutate via insert only)."""
+        return list(self._rows)
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of one attribute, in row order (with duplicates)."""
+        position = self.schema.position(attribute)
+        return [row[position] for row in self._rows]
+
+    def distinct_values(self, attribute: str) -> set[object]:
+        """The set of distinct values of one attribute."""
+        position = self.schema.position(attribute)
+        return {row[position] for row in self._rows}
+
+    def sorted_by(self, attributes: list[str] | tuple[str, ...], reverse: bool = False) -> "Relation":
+        """A new relation with rows ordered by the given attributes."""
+        positions = self.schema.positions(tuple(attributes))
+        ordered = sorted(self._rows, key=lambda row: tuple(row[i] for i in positions), reverse=reverse)
+        return Relation(self.schema, ordered)
+
+    def renamed(self, name: str) -> "Relation":
+        """The same rows under a renamed schema (rows are shared)."""
+        out = Relation.__new__(Relation)
+        out.schema = self.schema.renamed(name)
+        out._rows = self._rows
+        out._row_set = self._row_set
+        return out
+
+    def copy(self) -> "Relation":
+        """An independent copy (mutations do not propagate)."""
+        return Relation(self.schema, self._rows)
+
+    def estimated_bytes(self) -> int:
+        """A coarse size estimate used for cache capacity accounting.
+
+        Counts 8 bytes per field plus 16 per string character beyond 8.
+        Precision does not matter; monotonicity with actual size does.
+        """
+        total = 0
+        for row in self._rows:
+            total += 8 * len(row)
+            for value in row:
+                if isinstance(value, str) and len(value) > 8:
+                    total += 2 * (len(value) - 8)
+        return total
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width text rendering (for examples and debugging)."""
+        header = list(self.schema.attributes)
+        shown = self._rows[:limit]
+        cells = [[str(v) for v in row] for row in shown]
+        widths = [len(h) for h in header]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def relation_from_columns(name: str, /, **columns: list) -> Relation:
+    """Build a relation from parallel column lists (test/workload helper)."""
+    if not columns:
+        raise SchemaError("need at least one column")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise SchemaError(f"column lengths differ: {sorted(lengths)}")
+    schema = Schema(name, tuple(columns))
+    rows = zip(*columns.values())
+    return Relation(schema, rows)

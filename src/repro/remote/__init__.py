@@ -1,0 +1,36 @@
+"""Remote DBMS simulator: network model, catalog, engines, DML, server."""
+
+from repro.remote.catalog import Catalog
+from repro.remote.engine import EngineResult, PurePythonEngine
+from repro.remote.network import REMOTE_TRACK, NetworkModel
+from repro.remote.server import RemoteDBMS, RemoteResultStream
+from repro.remote.sql import (
+    FetchTableQuery,
+    SelectQuery,
+    SqlCol,
+    SqlCondition,
+    SqlLit,
+    TableRef,
+    render_literal,
+    render_sql,
+)
+from repro.remote.sqlite_backend import SqliteEngine
+
+__all__ = [
+    "Catalog",
+    "EngineResult",
+    "FetchTableQuery",
+    "NetworkModel",
+    "PurePythonEngine",
+    "REMOTE_TRACK",
+    "RemoteDBMS",
+    "RemoteResultStream",
+    "SelectQuery",
+    "SqlCol",
+    "SqlCondition",
+    "SqlLit",
+    "SqliteEngine",
+    "TableRef",
+    "render_literal",
+    "render_sql",
+]

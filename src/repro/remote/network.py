@@ -1,0 +1,67 @@
+"""The simulated workstation–server communication link.
+
+The paper's cost model (Section 3) makes "volume of communication between
+the workstation and the remote system" a first-class cost.  The prototype
+ran over Ethernet to an INGRES server or an IDM-500 database machine; this
+reproduction substitutes a deterministic link model: each request pays a
+fixed round-trip latency, and each shipped tuple pays a transfer cost.
+
+All charges go to the shared :class:`~repro.common.clock.SimClock` under the
+track name ``"remote"`` so that, inside a parallel region opened by the
+Execution Monitor, remote time overlaps with local cache work (Section
+5.3.3's parallel subquery execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.metrics import (
+    REMOTE_REQUESTS,
+    REMOTE_SERVER_TUPLES,
+    REMOTE_TUPLES,
+    Metrics,
+)
+
+#: Clock track used for all remote-side work.
+REMOTE_TRACK = "remote"
+
+
+@dataclass
+class NetworkModel:
+    """Charges communication and server costs for remote requests."""
+
+    clock: SimClock
+    profile: CostProfile
+    metrics: Metrics
+
+    def charge_request(self) -> None:
+        """One round trip: pay latency, count the request."""
+        self.metrics.incr(REMOTE_REQUESTS)
+        self.clock.charge(REMOTE_TRACK, self.profile.remote_latency)
+
+    def charge_server_work(self, tuples_touched: int) -> None:
+        """Server-side execution cost for a request."""
+        if tuples_touched < 0:
+            raise ValueError("tuples_touched must be non-negative")
+        self.metrics.incr(REMOTE_SERVER_TUPLES, tuples_touched)
+        self.clock.charge(REMOTE_TRACK, self.profile.server_per_tuple * tuples_touched)
+
+    def charge_transfer(self, tuples_shipped: int) -> None:
+        """Wire cost of shipping result tuples to the workstation."""
+        if tuples_shipped < 0:
+            raise ValueError("tuples_shipped must be non-negative")
+        self.metrics.incr(REMOTE_TUPLES, tuples_shipped)
+        self.clock.charge(REMOTE_TRACK, self.profile.transfer_per_tuple * tuples_shipped)
+
+    def request_cost(self, tuples_touched: int, tuples_shipped: int) -> float:
+        """The simulated seconds a request would cost (for the planner).
+
+        Pure estimation — charges nothing.
+        """
+        return (
+            self.profile.remote_latency
+            + self.profile.server_per_tuple * tuples_touched
+            + self.profile.transfer_per_tuple * tuples_shipped
+        )

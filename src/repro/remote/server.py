@@ -1,0 +1,154 @@
+"""The remote DBMS facade: an independent system component.
+
+Section 3 of the paper: "since the DBMS is treated as an independent system
+component, it does not access any information from any other BrAID
+component".  Correspondingly this class only *answers* requests:
+
+* DML execution (:meth:`execute` / :meth:`execute_stream`),
+* schema lookups, and
+* statistics lookups,
+
+and every answer is charged through the :class:`NetworkModel`.  The
+streaming form models Section 5.5: "The interface also allows pipelining if
+the DBMS supports it.  In that case, the DBMS starts returning the data
+before the complete result to the DBMS query has been processed."
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.metrics import Metrics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.statistics import RelationStatistics
+from repro.remote.catalog import Catalog
+from repro.remote.engine import EngineResult, PurePythonEngine
+from repro.remote.network import NetworkModel
+from repro.remote.sql import DMLRequest
+
+
+class Engine(Protocol):
+    """What the server needs from a query engine (pure-Python or sqlite)."""
+
+    def create_table(self, relation: Relation) -> None:
+        """Install a base table."""
+
+    def execute(self, request: DMLRequest) -> EngineResult:
+        """Execute one DML request."""
+
+
+class RemoteResultStream:
+    """A buffered, possibly pipelined result being shipped to the workstation.
+
+    With pipelining, transfer cost is charged per buffer as buffers are
+    pulled — the consumer can stop early and pay only for what was shipped.
+    Without pipelining, the whole result is shipped (and charged) when the
+    stream is created, and pulls merely walk the local buffer.
+    """
+
+    def __init__(
+        self,
+        rows: list[tuple],
+        schema: Schema,
+        network: NetworkModel,
+        buffer_size: int,
+        pipelined: bool,
+    ):
+        self.schema = schema
+        self._rows = rows
+        self._network = network
+        self._buffer_size = max(1, buffer_size)
+        self._pipelined = pipelined
+        self._position = 0
+        if not pipelined:
+            network.charge_transfer(len(rows))
+
+    def next_buffer(self) -> list[tuple]:
+        """The next buffer of rows; empty when the result is exhausted."""
+        if self._position >= len(self._rows):
+            return []
+        chunk = self._rows[self._position:self._position + self._buffer_size]
+        self._position += len(chunk)
+        if self._pipelined:
+            self._network.charge_transfer(len(chunk))
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every row has been pulled."""
+        return self._position >= len(self._rows)
+
+    @property
+    def total_rows(self) -> int:
+        """Size of the full result (known server-side)."""
+        return len(self._rows)
+
+
+class RemoteDBMS:
+    """A conventional relational DBMS on the far side of the network."""
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        clock: SimClock | None = None,
+        profile: CostProfile | None = None,
+        metrics: Metrics | None = None,
+        supports_pipelining: bool = True,
+    ):
+        self.engine: Engine = engine if engine is not None else PurePythonEngine()
+        self.clock = clock if clock is not None else SimClock()
+        self.profile = profile if profile is not None else CostProfile()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.network = NetworkModel(self.clock, self.profile, self.metrics)
+        self.catalog = Catalog()
+        self.supports_pipelining = supports_pipelining
+
+    # -- data definition (done by the DBA, not charged) ----------------------------
+    def load_table(self, relation: Relation) -> None:
+        """Install a base table (bulk load; not part of measured work)."""
+        self.engine.create_table(relation)
+        self.catalog.register(relation)
+
+    # -- metadata requests ------------------------------------------------------------
+    def schema_of(self, table: str) -> Schema:
+        """Answer a schema lookup (one round trip)."""
+        self.network.charge_request()
+        return self.catalog.schema(table)
+
+    def statistics_of(self, table: str) -> RelationStatistics:
+        """Answer a statistics lookup (one round trip)."""
+        self.network.charge_request()
+        return self.catalog.statistics(table)
+
+    def has_table(self, table: str) -> bool:
+        """True when the catalog knows ``table`` (not charged)."""
+        return self.catalog.has(table)
+
+    # -- DML requests -------------------------------------------------------------------
+    def execute(self, request: DMLRequest) -> Relation:
+        """Execute a request and ship the entire result."""
+        self.network.charge_request()
+        result = self.engine.execute(request)
+        self.network.charge_server_work(result.tuples_touched)
+        self.network.charge_transfer(len(result.relation))
+        return result.relation
+
+    def execute_stream(self, request: DMLRequest, buffer_size: int = 32) -> RemoteResultStream:
+        """Execute a request, shipping the result in buffers.
+
+        The server computes the full result (a conventional DBMS "may
+        perform more evaluation ... than required by the inference engine",
+        Section 5.5) but with pipelining only shipped buffers pay transfer.
+        """
+        self.network.charge_request()
+        result = self.engine.execute(request)
+        self.network.charge_server_work(result.tuples_touched)
+        return RemoteResultStream(
+            result.relation.rows,
+            result.relation.schema,
+            self.network,
+            buffer_size,
+            pipelined=self.supports_pipelining,
+        )

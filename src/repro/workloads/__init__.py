@@ -1,0 +1,25 @@
+"""Workloads: genealogy, suppliers, synthetic generators, query streams."""
+
+from repro.workloads.bom import bom
+from repro.workloads.genealogy import genealogy
+from repro.workloads.queries import (
+    StreamSpec,
+    range_query_stream,
+    repeated_selection_stream,
+)
+from repro.workloads.suppliers import suppliers
+from repro.workloads.synthetic import chain, fanout_graph, selection_universe
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "StreamSpec",
+    "Workload",
+    "bom",
+    "chain",
+    "fanout_graph",
+    "genealogy",
+    "range_query_stream",
+    "repeated_selection_stream",
+    "selection_universe",
+    "suppliers",
+]

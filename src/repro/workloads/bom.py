@@ -1,0 +1,100 @@
+"""The bill-of-materials (part explosion) workload.
+
+Alongside genealogy, part explosion was *the* recursive benchmark of the
+deductive-database era: assemblies contain subassemblies contain basic
+parts, and questions like "every part inside assembly X" or "total cost of
+X" require recursion that a 1990 SQL DBMS could not express — exactly the
+knowledge-processing-over-stored-data split BrAID targets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.soa import FunctionalDependency, RecursiveStructure
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.workload import Workload
+
+RULES = """
+contains(A, P) :- assembly(A, P, N).
+contains_deep(A, P) :- contains(A, P).
+contains_deep(A, P) :- contains(A, S), contains_deep(S, P).
+uses_basic(A, P) :- contains_deep(A, P), basic_part(P, C, W).
+expensive_component(A, P) :- contains_deep(A, P), basic_part(P, C, W), C > 50.
+heavy_component(A, P) :- contains_deep(A, P), basic_part(P, C, W), W > 20.
+direct_cost(A, C) :- contains(A, P), basic_part(P, C, W).
+shares_part(A1, A2) :- contains_deep(A1, P), contains_deep(A2, P), A1 \\= A2.
+top_assembly(A) :- assembly(A, P, N), \\+ assembly(Q, A, M).
+"""
+
+DATABASE = (("assembly", 3), ("basic_part", 3))
+
+EXAMPLE_QUERIES = {
+    "explode_root": "contains_deep(asm0, P)",
+    "expensive": "expensive_component(asm0, P)",
+    "basic_parts": "uses_basic(asm0, P)",
+    "shared": "shares_part(asm0, A)",
+}
+
+
+def bom(
+    depth: int = 4,
+    fanout: int = 3,
+    basic_parts: int = 30,
+    seed: int = 19,
+) -> Workload:
+    """Build a part-explosion workload.
+
+    A tree of assemblies ``depth`` levels deep with up to ``fanout``
+    children each; leaves reference basic parts with random cost/weight.
+    Seeded and deterministic.
+    """
+    rng = random.Random(seed)
+    assembly_rows: list[tuple[str, str, int]] = []
+    part_rows = [
+        (f"part{i}", rng.randint(1, 100), rng.randint(1, 40))
+        for i in range(basic_parts)
+    ]
+
+    counter = 0
+
+    def build(level: int) -> str:
+        nonlocal counter
+        name = f"asm{counter}"
+        counter += 1
+        children = rng.randint(1, fanout)
+        for _ in range(children):
+            if level + 1 >= depth:
+                part = f"part{rng.randrange(basic_parts)}"
+                assembly_rows.append((name, part, rng.randint(1, 4)))
+            else:
+                child = build(level + 1)
+                assembly_rows.append((name, child, rng.randint(1, 2)))
+        return name
+
+    build(0)
+
+    tables = [
+        Relation(Schema("assembly", ("asm", "component", "qty")), assembly_rows),
+        Relation(
+            Schema("basic_part", ("p_id", "cost", "weight"), key=("p_id",)),
+            part_rows,
+        ),
+    ]
+    soas = (
+        RecursiveStructure("contains_deep", "contains"),
+        FunctionalDependency("basic_part", 3, (0,), (1, 2)),
+    )
+    return Workload(
+        name="bill-of-materials",
+        tables=tables,
+        rules=RULES,
+        database=DATABASE,
+        soas=soas,
+        example_queries=dict(EXAMPLE_QUERIES),
+        description=(
+            f"part explosion: depth {depth}, fanout ≤ {fanout}, "
+            f"{counter} assemblies over {basic_parts} basic parts"
+        ),
+    )

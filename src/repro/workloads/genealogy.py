@@ -1,0 +1,120 @@
+"""The genealogy workload.
+
+Family databases were the canonical deductive-database testbed of the
+paper's era: recursive rules (ancestor/descendant), joins through shared
+individuals (siblings, cousins), and natural mutual-exclusion SOAs
+(male/female).  The generator builds a random — but seeded, hence
+reproducible — family forest with a configurable number of generations and
+branching factor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.soa import MutualExclusion, RecursiveStructure
+from repro.logic.terms import Atom, Var
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.workload import Workload
+
+RULES = """
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+father(X, Y) :- parent(X, Y), male(X).
+mother(X, Y) :- parent(X, Y), female(X).
+sibling(X, Y) :- parent(P, X), parent(P, Y), X \\= Y.
+brother(X, Y) :- sibling(X, Y), male(X).
+sister(X, Y) :- sibling(X, Y), female(X).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+uncle(U, N) :- sibling(U, P), parent(P, N), male(U).
+aunt(U, N) :- sibling(U, P), parent(P, N), female(U).
+cousin(X, Y) :- parent(P, X), parent(Q, Y), sibling(P, Q).
+adult(X) :- age(X, A), A >= 18.
+minor(X) :- age(X, A), A < 18.
+elder(X) :- age(X, A), A >= 65.
+parent_of_minor(X) :- parent(X, Y), age(Y, A), A < 18.
+same_generation(X, Y) :- parent(P, X), parent(Q, Y), sibling(P, Q).
+same_generation(X, Y) :- sibling(X, Y).
+"""
+
+DATABASE = (("parent", 2), ("male", 1), ("female", 1), ("age", 2))
+
+EXAMPLE_QUERIES = {
+    "ancestors": "ancestor(p0, W)",
+    "grandchildren": "grandparent(p0, W)",
+    "uncles": "uncle(U, N)",
+    "minors": "minor(X)",
+    "siblings_of_p1": "sibling(p1, S)",
+}
+
+
+def genealogy(
+    generations: int = 4,
+    branching: int = 3,
+    roots: int = 2,
+    seed: int = 7,
+) -> Workload:
+    """Build a family forest workload.
+
+    ``roots`` founding individuals each start a tree; every person in a
+    non-final generation has up to ``branching`` children (randomly 1 to
+    ``branching``).  Ages decrease with generation; sexes alternate
+    randomly.  All randomness is seeded.
+    """
+    rng = random.Random(seed)
+    people: list[str] = []
+    parent_rows: list[tuple[str, str]] = []
+    counter = 0
+
+    def new_person() -> str:
+        nonlocal counter
+        name = f"p{counter}"
+        counter += 1
+        people.append(name)
+        return name
+
+    generation_members: list[list[str]] = [[new_person() for _ in range(roots)]]
+    for _generation in range(1, generations):
+        previous = generation_members[-1]
+        current: list[str] = []
+        for parent in previous:
+            for _ in range(rng.randint(1, branching)):
+                child = new_person()
+                parent_rows.append((parent, child))
+                current.append(child)
+        generation_members.append(current)
+
+    males, females = [], []
+    for person in people:
+        (males if rng.random() < 0.5 else females).append(person)
+
+    ages = []
+    for generation, members in enumerate(generation_members):
+        base_age = 25 * (generations - generation)
+        for person in members:
+            ages.append((person, base_age + rng.randint(-5, 5)))
+
+    tables = [
+        Relation(Schema("parent", ("par", "child")), parent_rows),
+        Relation(Schema("male", ("person",)), [(p,) for p in males]),
+        Relation(Schema("female", ("person",)), [(p,) for p in females]),
+        Relation(Schema("age", ("person", "years")), ages),
+    ]
+    x = Var("X")
+    soas = (
+        MutualExclusion((Atom("male", (x,)), Atom("female", (x,)))),
+        RecursiveStructure("ancestor", "parent"),
+    )
+    return Workload(
+        name="genealogy",
+        tables=tables,
+        rules=RULES,
+        database=DATABASE,
+        soas=soas,
+        example_queries=dict(EXAMPLE_QUERIES),
+        description=(
+            f"family forest: {roots} roots × {generations} generations, "
+            f"branching ≤ {branching}, {len(people)} people"
+        ),
+    )

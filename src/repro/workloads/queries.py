@@ -1,0 +1,95 @@
+"""CAQL query-stream generators for the benchmark harness.
+
+Benchmarks drive the *CMS layer* directly (bypassing the IE) with
+controlled query streams: repetition rate governs exact-match reuse,
+overlap governs subsumption opportunity, constant variety governs
+generalization benefit.  All generators are seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.caql.ast import ConjunctiveQuery
+from repro.caql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Parameters of a generated CAQL query stream."""
+
+    length: int
+    repetition_rate: float = 0.0
+    seed: int = 1
+
+
+def repeated_selection_stream(
+    template: str,
+    constants: list[object],
+    spec: StreamSpec,
+) -> list[ConjunctiveQuery]:
+    """Instantiate ``template`` (with a ``$C`` placeholder) over constants.
+
+    With probability ``repetition_rate`` the next query repeats a
+    previously issued one (exact-match reuse opportunity); otherwise a
+    fresh constant is drawn.
+    """
+    if "$C" not in template:
+        raise ValueError("template needs a $C placeholder")
+    rng = random.Random(spec.seed)
+    issued: list[ConjunctiveQuery] = []
+    out: list[ConjunctiveQuery] = []
+    for _ in range(spec.length):
+        if issued and rng.random() < spec.repetition_rate:
+            out.append(rng.choice(issued))
+            continue
+        constant = rng.choice(constants)
+        query = parse_query(template.replace("$C", _render(constant)))
+        issued.append(query)
+        out.append(query)
+    return out
+
+
+def range_query_stream(
+    relation: str,
+    attribute_position: int,
+    arity: int,
+    domain: int,
+    spec: StreamSpec,
+    width_fraction: float = 0.2,
+) -> list[ConjunctiveQuery]:
+    """Overlapping range queries ``q(...) :- rel(...), Vi >= lo, Vi < hi``.
+
+    Random windows of ``width_fraction * domain`` over a shared domain:
+    later windows frequently fall inside earlier ones, which exact-match
+    caching cannot exploit but subsumption can.
+    """
+    rng = random.Random(spec.seed)
+    width = max(1, int(domain * width_fraction))
+    variables = [f"V{i}" for i in range(arity)]
+    head_vars = ", ".join(variables)
+    out = []
+    for index in range(spec.length):
+        low = rng.randrange(0, max(1, domain - width))
+        high = low + width
+        if index and rng.random() < spec.repetition_rate:
+            # Narrow a previous window: strictly contained, so subsumable.
+            shrink = max(1, width // 4)
+            low += shrink
+            high -= shrink
+            if high <= low:
+                high = low + 1
+        body = (
+            f"{relation}({', '.join(variables)}), "
+            f"{variables[attribute_position]} >= {low}, "
+            f"{variables[attribute_position]} < {high}"
+        )
+        out.append(parse_query(f"q{index}({head_vars}) :- {body}"))
+    return out
+
+
+def _render(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    return repr(value)

@@ -1,0 +1,104 @@
+"""The parts/suppliers workload.
+
+The classic relational benchmark schema (suppliers, parts, shipments),
+with rules an expert system might layer on top: sourcing advice, preferred
+suppliers, substitute parts.  Exercises selective joins, range conditions,
+aggregation, and functional-dependency SOAs (keys).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.soa import FunctionalDependency
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.workload import Workload
+
+RULES = """
+supplies_part(S, P) :- shipment(S, P, Q, C), Q > 0.
+can_source(S, P, C) :- shipment(S, P, Q, C), Q > 0.
+local_supplier(S, City) :- supplier(S, N, City, R).
+colocated(S1, S2) :- supplier(S1, N1, City, R1), supplier(S2, N2, City, R2), S1 \\= S2.
+heavy_part(P) :- part(P, N, Col, W), W > 40.
+light_part(P) :- part(P, N, Col, W), W =< 40.
+red_part(P) :- part(P, N, red, W).
+good_supplier(S) :- supplier(S, N, City, R), R >= 8.
+preferred_source(S, P) :- good_supplier(S), supplies_part(S, P).
+bulk_source(S, P) :- shipment(S, P, Q, C), Q >= 500.
+cheap_source(S, P) :- shipment(S, P, Q, C), C < 10.
+sources_red(S) :- supplies_part(S, P), red_part(P).
+substitutable(P1, P2) :- part(P1, N1, Col, W1), part(P2, N2, Col, W2), P1 \\= P2.
+"""
+
+DATABASE = (("supplier", 4), ("part", 4), ("shipment", 4))
+
+EXAMPLE_QUERIES = {
+    "heavy_parts": "heavy_part(P)",
+    "preferred": "preferred_source(S, P)",
+    "red_sources": "sources_red(S)",
+    "bulk": "bulk_source(S, P)",
+    "colocated": "colocated(s1, W)",
+}
+
+COLORS = ("red", "green", "blue", "black")
+CITIES = ("athens", "paris", "london", "oslo", "rome")
+
+
+def suppliers(
+    n_suppliers: int = 25,
+    n_parts: int = 40,
+    n_shipments: int = 200,
+    seed: int = 11,
+) -> Workload:
+    """Build a parts/suppliers workload with seeded random contents."""
+    rng = random.Random(seed)
+
+    supplier_rows = [
+        (f"s{i}", f"supplier_{i}", rng.choice(CITIES), rng.randint(1, 10))
+        for i in range(n_suppliers)
+    ]
+    part_rows = [
+        (f"part{i}", f"part_{i}", rng.choice(COLORS), rng.randint(1, 80))
+        for i in range(n_parts)
+    ]
+    shipment_rows = set()
+    while len(shipment_rows) < n_shipments:
+        shipment_rows.add(
+            (
+                f"s{rng.randrange(n_suppliers)}",
+                f"part{rng.randrange(n_parts)}",
+                rng.choice([0, 10, 50, 100, 500, 1000]),
+                rng.randint(1, 50),
+            )
+        )
+
+    tables = [
+        Relation(
+            Schema("supplier", ("s_id", "s_name", "city", "rating"), key=("s_id",)),
+            supplier_rows,
+        ),
+        Relation(
+            Schema("part", ("p_id", "p_name", "color", "weight"), key=("p_id",)),
+            part_rows,
+        ),
+        Relation(
+            Schema("shipment", ("s_id", "p_id", "qty", "cost")),
+            shipment_rows,
+        ),
+    ]
+    soas = (
+        FunctionalDependency("supplier", 4, (0,), (1, 2, 3)),
+        FunctionalDependency("part", 4, (0,), (1, 2, 3)),
+    )
+    return Workload(
+        name="suppliers",
+        tables=tables,
+        rules=RULES,
+        database=DATABASE,
+        soas=soas,
+        example_queries=dict(EXAMPLE_QUERIES),
+        description=(
+            f"{n_suppliers} suppliers, {n_parts} parts, {n_shipments} shipments"
+        ),
+    )

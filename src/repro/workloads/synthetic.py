@@ -1,0 +1,114 @@
+"""Parameterized synthetic workloads.
+
+Experiments need workloads whose *shape* is a controlled variable:
+
+* :func:`chain` — relations ``r0..r{k-1}`` with a chain rule joining them,
+  for sweeping join width and the interpreted/compiled trade-off;
+* :func:`selection_universe` — one wide relation plus a family of
+  overlapping selection queries, for sweeping subsumption opportunity;
+* :func:`fanout_graph` — an edge relation with controlled out-degree, for
+  recursion-depth sweeps.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.soa import RecursiveStructure
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.workload import Workload
+
+
+def chain(
+    length: int = 3,
+    rows_per_relation: int = 100,
+    domain: int = 50,
+    seed: int = 3,
+) -> Workload:
+    """Relations r0..r{length-1} and ``chain(X0, Xk) :- r0(X0, X1), ...``."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    rng = random.Random(seed)
+    tables = []
+    for index in range(length):
+        rows = {
+            (rng.randrange(domain), rng.randrange(domain))
+            for _ in range(rows_per_relation)
+        }
+        tables.append(Relation(Schema(f"r{index}", ("a", "b")), sorted(rows)))
+
+    body = ", ".join(f"r{i}(X{i}, X{i + 1})" for i in range(length))
+    rules = f"chain(X0, X{length}) :- {body}.\n"
+    rules += "short_chain(X0, X1) :- r0(X0, X1).\n"
+    database = tuple((f"r{i}", 2) for i in range(length))
+    return Workload(
+        name=f"chain{length}",
+        tables=tables,
+        rules=rules,
+        database=database,
+        example_queries={"chain_from_zero": "chain(0, W)", "whole_chain": "chain(X, Y)"},
+        description=f"{length}-way chain join, {rows_per_relation} rows each",
+    )
+
+
+def selection_universe(
+    rows: int = 500,
+    domain: int = 1000,
+    seed: int = 5,
+) -> Workload:
+    """One wide relation ``item(id, cat, val)`` for selection sweeps.
+
+    ``cat`` is a 10-value category attribute, ``val`` ranges over
+    ``[0, domain)`` — overlapping range queries over ``val`` and equality
+    queries over ``cat`` give subsumption plenty of opportunity.
+    """
+    rng = random.Random(seed)
+    item_rows = [
+        (i, f"cat{rng.randrange(10)}", rng.randrange(domain)) for i in range(rows)
+    ]
+    tables = [Relation(Schema("item", ("item_id", "cat", "val")), item_rows)]
+    rules = """
+in_category(I, C) :- item(I, C, V).
+valued_over(I, T) :- item(I, C, V), V >= T.
+category_sample(I) :- item(I, cat0, V).
+"""
+    return Workload(
+        name="selection-universe",
+        tables=tables,
+        rules=rules,
+        database=(("item", 3),),
+        example_queries={"category": "in_category(I, cat0)"},
+        description=f"{rows} items over a {domain}-value domain",
+    )
+
+
+def fanout_graph(
+    nodes: int = 60,
+    out_degree: int = 2,
+    seed: int = 13,
+) -> Workload:
+    """A layered DAG ``edge(a, b)`` plus transitive reachability rules."""
+    rng = random.Random(seed)
+    edges = set()
+    for node in range(nodes - 1):
+        for _ in range(out_degree):
+            target = rng.randrange(node + 1, min(nodes, node + 10))
+            edges.add((f"n{node}", f"n{target}"))
+    tables = [Relation(Schema("edge", ("src", "dst")), sorted(edges))]
+    rules = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+neighbor(X, Y) :- edge(X, Y).
+"""
+    return Workload(
+        name="fanout-graph",
+        tables=tables,
+        rules=rules,
+        database=(("edge", 2),),
+        soas=(RecursiveStructure("reach", "edge"),),
+        example_queries={"reach_from_n0": "reach(n0, W)"},
+        description=f"layered DAG, {nodes} nodes, out-degree {out_degree}",
+    )

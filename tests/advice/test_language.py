@@ -1,0 +1,61 @@
+"""Tests for advice sets."""
+
+import pytest
+
+from repro.common.errors import AdviceError
+from repro.caql.parser import parse_query
+from repro.advice.language import EMPTY_ADVICE, AdviceSet
+from repro.advice.path_expression import QueryPattern, Sequence
+from repro.advice.view_spec import annotate
+
+
+def views():
+    return [
+        annotate(parse_query("d1(Y) :- b1(c1, Y)"), "^", rule_ids=("R1",)),
+        annotate(parse_query("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)"), "^?", rule_ids=("R2",)),
+    ]
+
+
+class TestConstruction:
+    def test_from_views(self):
+        advice = AdviceSet.from_views(views())
+        assert advice.view("d1") is not None
+        assert advice.view("d9") is None
+
+    def test_duplicate_views_rejected(self):
+        v = views()
+        with pytest.raises(AdviceError):
+            AdviceSet.from_views([v[0], v[0]])
+
+    def test_path_expression_views_must_be_defined(self):
+        path = Sequence((QueryPattern("d9"),))
+        with pytest.raises(AdviceError):
+            AdviceSet.from_views(views(), path_expression=path)
+
+    def test_valid_path_expression(self):
+        path = Sequence((QueryPattern("d1"), QueryPattern("d2")))
+        advice = AdviceSet.from_views(views(), path_expression=path)
+        assert advice.path_expression is path
+
+    def test_empty(self):
+        assert EMPTY_ADVICE.is_empty()
+        assert not AdviceSet.from_views(views()).is_empty()
+
+    def test_relevant_relations_only(self):
+        advice = AdviceSet(relevant_relations=(("b1", 2), ("b2", 2)))
+        assert not advice.is_empty()
+
+
+class TestRendering:
+    def test_str_lists_everything(self):
+        path = Sequence((QueryPattern("d1"),))
+        advice = AdviceSet.from_views(
+            views(), path_expression=path, relevant_relations=(("b1", 2),)
+        )
+        text = str(advice)
+        assert "b1/2" in text
+        assert "d1(Y^)" in text
+        assert "path:" in text
+
+    def test_empty_str(self):
+        assert str(EMPTY_ADVICE) == "(no advice)"

@@ -1,0 +1,219 @@
+"""Tests for the condition implication engine — soundness is critical."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.expressions import Col, Comparison, Lit
+from repro.caql.implication import ConditionSet
+
+
+def c(left, op, right):
+    """Build a condition; strings shaped like ``t0.c1`` are columns."""
+
+    def make(x):
+        if isinstance(x, str) and "." in x and x.startswith("t"):
+            return Col(x)
+        return Lit(x)
+
+    return Comparison(make(left), op, make(right))
+
+
+A, B, C = "t0.c0", "t0.c1", "t1.c0"
+
+
+class TestColLit:
+    def test_equality_implies_itself(self):
+        assert ConditionSet([c(A, "=", 5)]).implies(c(A, "=", 5))
+
+    def test_equality_implies_range(self):
+        cs = ConditionSet([c(A, "=", 5)])
+        assert cs.implies(c(A, "<", 10))
+        assert cs.implies(c(A, ">=", 5))
+        assert cs.implies(c(A, "!=", 7))
+
+    def test_equality_does_not_imply_wrong_value(self):
+        cs = ConditionSet([c(A, "=", 5)])
+        assert not cs.implies(c(A, "=", 6))
+        assert not cs.implies(c(A, "<", 5))
+
+    def test_range_implies_wider_range(self):
+        cs = ConditionSet([c(A, "<", 5)])
+        assert cs.implies(c(A, "<", 10))
+        assert cs.implies(c(A, "<=", 5))
+        assert cs.implies(c(A, "!=", 9))
+
+    def test_range_does_not_imply_narrower(self):
+        cs = ConditionSet([c(A, "<", 10)])
+        assert not cs.implies(c(A, "<", 5))
+        assert not cs.implies(c(A, "=", 3))
+
+    def test_strictness_boundary(self):
+        assert ConditionSet([c(A, "<=", 5)]).implies(c(A, "<=", 5))
+        assert not ConditionSet([c(A, "<=", 5)]).implies(c(A, "<", 5))
+        assert ConditionSet([c(A, "<", 5)]).implies(c(A, "<=", 5))
+
+    def test_lower_bounds(self):
+        cs = ConditionSet([c(A, ">=", 3)])
+        assert cs.implies(c(A, ">", 2))
+        assert cs.implies(c(A, ">=", 3))
+        assert not cs.implies(c(A, ">", 3))
+
+    def test_not_equal_direct(self):
+        assert ConditionSet([c(A, "!=", 4)]).implies(c(A, "!=", 4))
+
+    def test_not_equal_from_range(self):
+        assert ConditionSet([c(A, "<", 3)]).implies(c(A, "!=", 7))
+        assert not ConditionSet([c(A, "<", 3)]).implies(c(A, "!=", 1))
+
+    def test_closed_interval_pins(self):
+        cs = ConditionSet([c(A, ">=", 5), c(A, "<=", 5)])
+        assert cs.implies(c(A, "=", 5))
+
+    def test_nothing_from_empty_set(self):
+        cs = ConditionSet([])
+        assert not cs.implies(c(A, "<", 5))
+        assert not cs.implies(c(A, "=", 5))
+
+    def test_string_equality(self):
+        cs = ConditionSet([c(A, "=", "nj")])
+        assert cs.implies(c(A, "=", "nj"))
+        assert cs.implies(c(A, "!=", "ca"))
+
+
+class TestEquivalenceClasses:
+    def test_equality_chain(self):
+        cs = ConditionSet([c(A, "=", B), c(B, "=", C)])
+        assert cs.implies(c(A, "=", C))
+
+    def test_pinned_value_propagates_through_class(self):
+        cs = ConditionSet([c(A, "=", B), c(B, "=", 7)])
+        assert cs.implies(c(A, "=", 7))
+        assert cs.implies(c(A, "<", 10))
+
+    def test_range_propagates_through_class(self):
+        cs = ConditionSet([c(A, "=", B), c(B, "<", 5)])
+        assert cs.implies(c(A, "<", 10))
+
+    def test_unrelated_columns_not_equated(self):
+        cs = ConditionSet([c(A, "=", 5), c(B, "=", 5)])
+        assert cs.implies(c(A, "=", B))  # both pinned to the same value
+        cs2 = ConditionSet([c(A, "=", 5), c(B, "=", 6)])
+        assert not cs2.implies(c(A, "=", B))
+
+
+class TestColCol:
+    def test_syntactic_presence(self):
+        cs = ConditionSet([c(A, "<", B)])
+        assert cs.implies(c(A, "<", B))
+
+    def test_presence_through_classes(self):
+        cs = ConditionSet([c(A, "<", B), c(B, "=", C)])
+        assert cs.implies(c(A, "<", C))
+
+    def test_derived_from_disjoint_ranges(self):
+        cs = ConditionSet([c(A, "<", 3), c(B, ">", 7)])
+        assert cs.implies(c(A, "<", B))
+        assert cs.implies(c(A, "!=", B))
+
+    def test_derived_from_pins(self):
+        cs = ConditionSet([c(A, "=", 2), c(B, "=", 9)])
+        assert cs.implies(c(A, "<", B))
+        assert not cs.implies(c(A, ">", B))
+
+    def test_touching_ranges_need_strictness(self):
+        cs = ConditionSet([c(A, "<=", 5), c(B, ">=", 5)])
+        assert cs.implies(c(A, "<=", B))
+        assert not cs.implies(c(A, "<", B))
+        strict = ConditionSet([c(A, "<", 5), c(B, ">=", 5)])
+        assert strict.implies(c(A, "<", B))
+
+    def test_flipped_operators(self):
+        cs = ConditionSet([c(A, "<", 3), c(B, ">", 7)])
+        assert cs.implies(c(B, ">", A))
+
+
+class TestSatisfiability:
+    def test_empty_is_satisfiable(self):
+        assert ConditionSet([]).is_satisfiable()
+
+    def test_conflicting_pins(self):
+        assert not ConditionSet([c(A, "=", 1), c(A, "=", 2)]).is_satisfiable()
+
+    def test_conflicting_pins_through_class(self):
+        cs = ConditionSet([c(A, "=", 1), c(B, "=", 2), c(A, "=", B)])
+        assert not cs.is_satisfiable()
+
+    def test_empty_range(self):
+        assert not ConditionSet([c(A, ">", 5), c(A, "<", 3)]).is_satisfiable()
+
+    def test_point_range_with_strict_bound(self):
+        assert not ConditionSet([c(A, ">=", 5), c(A, "<", 5)]).is_satisfiable()
+
+    def test_pin_outside_range(self):
+        assert not ConditionSet([c(A, "=", 9), c(A, "<", 3)]).is_satisfiable()
+
+    def test_pin_excluded(self):
+        assert not ConditionSet([c(A, "=", 4), c(A, "!=", 4)]).is_satisfiable()
+
+    def test_unsatisfiable_implies_everything(self):
+        cs = ConditionSet([c(A, "=", 1), c(A, "=", 2)])
+        assert cs.implies(c(B, "=", 99))
+
+
+class TestTypeSafety:
+    def test_mixed_types_never_imply(self):
+        cs = ConditionSet([c(A, "<", 5)])
+        assert not cs.implies(c(A, "<", "zebra"))
+
+    def test_implies_all(self):
+        cs = ConditionSet([c(A, "=", 5)])
+        assert cs.implies_all([c(A, "<", 10), c(A, ">", 0)])
+        assert not cs.implies_all([c(A, "<", 10), c(A, ">", 10)])
+
+
+# -- property-based soundness check ------------------------------------------------
+
+columns = st.sampled_from([A, B, C])
+operators = st.sampled_from(["=", "!=", "<", ">", "<=", ">="])
+values = st.integers(0, 6)
+conditions = st.builds(
+    lambda col, op, val: c(col, op, val), columns, operators, values
+)
+col_col = st.builds(
+    lambda l, op, r: c(l, op, r),
+    columns,
+    st.sampled_from(["=", "<", "<="]),
+    columns,
+)
+condition_sets = st.lists(st.one_of(conditions, col_col), min_size=0, max_size=5)
+
+
+def _evaluate(condition, assignment):
+    from repro.relational.expressions import holds
+
+    def value(operand):
+        return assignment[operand.name] if isinstance(operand, Col) else operand.value
+
+    return holds(value(condition.left), condition.op, value(condition.right))
+
+
+assignments = st.fixed_dictionaries({A: values, B: values, C: values})
+
+
+@given(condition_sets, st.one_of(conditions, col_col), assignments)
+def test_implication_is_sound(premises, conclusion, assignment):
+    """If implies() says yes, every model of the premises satisfies the
+    conclusion — checked against random integer assignments."""
+    cs = ConditionSet(premises)
+    if cs.implies(conclusion):
+        if all(_evaluate(p, assignment) for p in premises):
+            assert _evaluate(conclusion, assignment)
+
+
+@given(condition_sets, assignments)
+def test_unsatisfiability_is_sound(premises, assignment):
+    """If is_satisfiable() is False, no assignment satisfies the premises."""
+    cs = ConditionSet(premises)
+    if not cs.is_satisfiable():
+        assert not all(_evaluate(p, assignment) for p in premises)

@@ -1,0 +1,62 @@
+"""Property: lazy and eager PSJ evaluation always agree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caql.eval import evaluate_psj, lazy_psj, psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.relational.relation import Relation
+
+R_ROWS = [(x, y) for x in range(5) for y in range(5) if (x + y) % 3]
+S_ROWS = [(y, z, y * z % 4) for y in range(5) for z in range(3)]
+DB = {
+    "r": Relation(result_schema("r", 2), R_ROWS),
+    "s": Relation(result_schema("s", 3), S_ROWS),
+}
+
+TEMPLATES = [
+    "q(X, Y) :- r(X, Y)",
+    "q(Y) :- r({c}, Y)",
+    "q(X, Y) :- r(X, Y), X < {c}",
+    "q(X, Z) :- r(X, Y), s(Y, Z, E)",
+    "q(X, E) :- r(X, Y), s(Y, {z}, E)",
+    "q(X) :- r(X, X)",
+    "q(X, Y2) :- r(X, Y), r(Y, Y2)",
+    "q({c}, Y) :- r({c}, Y)",
+    "q(X, Y) :- r(X, Y), X \\= Y, Y >= {z}",
+]
+
+queries = st.builds(
+    lambda template, c, z: psj_of(parse_query(template.format(c=c, z=z))),
+    st.sampled_from(TEMPLATES),
+    st.integers(0, 4),
+    st.integers(0, 2),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries)
+def test_lazy_equals_eager(psj):
+    eager = evaluate_psj(psj, DB.__getitem__)
+    lazy = lazy_psj(psj, DB.__getitem__)
+    assert lazy.to_extension() == eager
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries, st.integers(1, 10))
+def test_lazy_prefix_is_a_prefix_of_the_result(psj, take):
+    eager = evaluate_psj(psj, DB.__getitem__)
+    lazy = lazy_psj(psj, DB.__getitem__)
+    prefix = lazy.take(take)
+    assert len(prefix) == min(take, len(eager))
+    for row in prefix:
+        assert row in eager
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries)
+def test_lazy_restart_reproduces(psj):
+    lazy = lazy_psj(psj, DB.__getitem__)
+    first = list(lazy)
+    lazy.restart()
+    assert list(lazy) == first

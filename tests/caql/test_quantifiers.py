@@ -1,0 +1,161 @@
+"""Tests for the CAQL quantifiers (EXISTS, ANY, THE, ALL)."""
+
+import pytest
+
+from repro.common.errors import EvaluationError, TranslationError
+from repro.relational.relation import Relation
+from repro.caql.ast import QuantifiedQuery
+from repro.caql.eval import evaluate_conjunctive, evaluate_quantified, result_schema
+from repro.caql.parser import parse_query
+
+DB = {
+    "emp": Relation(
+        result_schema("emp", 2),
+        [("ann", "hw"), ("bob", "sw"), ("cat", "sw")],
+    ),
+    "cleared": Relation(result_schema("cleared", 1), [("ann",), ("bob",), ("cat",)]),
+}
+
+
+def evaluate(quantifier, base_text, within_text=None):
+    base = parse_query(base_text)
+    within = parse_query(within_text) if within_text else None
+    query = QuantifiedQuery(quantifier, base, within)
+    base_result = evaluate_conjunctive(base, DB.__getitem__)
+    within_result = (
+        evaluate_conjunctive(within, DB.__getitem__) if within else None
+    )
+    return evaluate_quantified(query, base_result, within_result)
+
+
+class TestValidation:
+    def test_unknown_quantifier(self):
+        with pytest.raises(TranslationError):
+            QuantifiedQuery("some", parse_query("q(X) :- emp(X, sw)"))
+
+    def test_all_needs_within(self):
+        with pytest.raises(TranslationError):
+            QuantifiedQuery("all", parse_query("q(X) :- emp(X, sw)"))
+
+    def test_all_arity_checked(self):
+        with pytest.raises(TranslationError):
+            QuantifiedQuery(
+                "all",
+                parse_query("q(X) :- emp(X, sw)"),
+                parse_query("w(X, Y) :- emp(X, Y)"),
+            )
+
+    def test_exists_rejects_within(self):
+        with pytest.raises(TranslationError):
+            QuantifiedQuery(
+                "exists",
+                parse_query("q(X) :- emp(X, sw)"),
+                parse_query("w(X) :- cleared(X)"),
+            )
+
+    def test_str_forms(self):
+        q = QuantifiedQuery("exists", parse_query("q(X) :- emp(X, sw)"))
+        assert str(q) == "EXISTS[q]"
+        a = QuantifiedQuery(
+            "all",
+            parse_query("q(X) :- emp(X, sw)"),
+            parse_query("w(X) :- cleared(X)"),
+        )
+        assert "⊆" in str(a)
+
+
+class TestEvaluation:
+    def test_exists_true(self):
+        assert evaluate("exists", "q(X) :- emp(X, sw)").rows == [(True,)]
+
+    def test_exists_false(self):
+        assert evaluate("exists", "q(X) :- emp(X, legal)").rows == []
+
+    def test_any_returns_single_row(self):
+        result = evaluate("any", "q(X) :- emp(X, sw)")
+        assert len(result) == 1
+
+    def test_any_of_empty(self):
+        assert evaluate("any", "q(X) :- emp(X, legal)").rows == []
+
+    def test_the_unique(self):
+        result = evaluate("the", "q(X) :- emp(X, hw)")
+        assert result.rows == [("ann",)]
+
+    def test_the_ambiguous_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("the", "q(X) :- emp(X, sw)")
+
+    def test_the_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("the", "q(X) :- emp(X, legal)")
+
+    def test_all_holds(self):
+        result = evaluate("all", "q(X) :- emp(X, sw)", "w(X) :- cleared(X)")
+        assert result.rows == [(True,)]
+
+    def test_all_fails(self):
+        small = {
+            "emp": DB["emp"],
+            "cleared": Relation(result_schema("cleared", 1), [("ann",)]),
+        }
+        base = parse_query("q(X) :- emp(X, sw)")
+        within = parse_query("w(X) :- cleared(X)")
+        query = QuantifiedQuery("all", base, within)
+        result = evaluate_quantified(
+            query,
+            evaluate_conjunctive(base, small.__getitem__),
+            evaluate_conjunctive(within, small.__getitem__),
+        )
+        assert result.rows == []
+
+    def test_all_of_empty_base_vacuously_true(self):
+        result = evaluate("all", "q(X) :- emp(X, legal)", "w(X) :- cleared(X)")
+        assert result.rows == [(True,)]
+
+
+class TestThroughBridges:
+    @pytest.fixture
+    def cms(self):
+        from repro.core.cms import CacheManagementSystem
+        from repro.remote.server import RemoteDBMS
+        from repro.relational.relation import relation_from_columns
+
+        server = RemoteDBMS()
+        server.load_table(
+            relation_from_columns("emp", name=["ann", "bob", "cat"], dept=["hw", "sw", "sw"])
+        )
+        server.load_table(relation_from_columns("cleared", person=["ann", "bob", "cat"]))
+        system = CacheManagementSystem(server)
+        system.begin_session()
+        return system
+
+    def test_exists_via_cms(self, cms):
+        query = QuantifiedQuery("exists", parse_query("q(X) :- emp(X, sw)"))
+        assert cms.query(query).fetch_all() == [(True,)]
+
+    def test_all_via_cms(self, cms):
+        query = QuantifiedQuery(
+            "all",
+            parse_query("q(X) :- emp(X, sw)"),
+            parse_query("w(X) :- cleared(X)"),
+        )
+        assert cms.query(query).fetch_all() == [(True,)]
+
+    def test_quantifier_base_is_cached(self, cms):
+        query = QuantifiedQuery("exists", parse_query("q(X) :- emp(X, sw)"))
+        cms.query(query)
+        before = cms.metrics.get("remote.requests")
+        cms.query(query)
+        assert cms.metrics.get("remote.requests") == before
+
+    def test_via_baseline(self):
+        from repro.baselines.loose import LooseCoupling
+        from repro.remote.server import RemoteDBMS
+        from repro.relational.relation import relation_from_columns
+
+        server = RemoteDBMS()
+        server.load_table(relation_from_columns("emp", name=["ann"], dept=["hw"]))
+        bridge = LooseCoupling(server)
+        query = QuantifiedQuery("the", parse_query("q(X) :- emp(X, hw)"))
+        assert bridge.query(query).fetch_all() == [("ann",)]

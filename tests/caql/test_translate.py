@@ -1,0 +1,152 @@
+"""Tests for CAQL → remote DML translation."""
+
+import pytest
+
+from repro.common.errors import TranslationError
+from repro.relational.relation import relation_from_columns
+from repro.relational.schema import Schema
+from repro.remote.server import RemoteDBMS
+from repro.remote.sql import render_sql
+from repro.caql.parser import parse_query
+from repro.caql.psj import psj_from_literals
+from repro.caql.translate import sql_from_psj
+
+SCHEMAS = {
+    "parent": Schema("parent", ("par", "child")),
+    "age": Schema("age", ("person", "years")),
+}
+
+
+def normalize(text):
+    query = parse_query(text)
+    return psj_from_literals(
+        query.name,
+        query.relation_literals(),
+        query.comparison_literals(),
+        query.answers,
+    )
+
+
+def translate(text):
+    return sql_from_psj(normalize(text), SCHEMAS.__getitem__)
+
+
+class TestTranslation:
+    def test_single_table(self):
+        translation = translate("q(X, Y) :- parent(X, Y)")
+        sql = render_sql(translation.query)
+        assert sql == "SELECT DISTINCT t0.par, t0.child FROM parent AS t0"
+
+    def test_constant_condition(self):
+        translation = translate("q(Y) :- parent(tom, Y)")
+        sql = render_sql(translation.query)
+        assert "t0.par = 'tom'" in sql
+
+    def test_join_condition(self):
+        translation = translate("q(X, A) :- parent(X, Y), age(Y, A)")
+        sql = render_sql(translation.query)
+        assert "FROM parent AS t0, age AS t1" in sql
+        assert "t0.child = t1.person" in sql
+
+    def test_comparison_condition(self):
+        translation = translate("q(X) :- age(X, A), A >= 18")
+        assert "t0.years >= 18" in render_sql(translation.query)
+
+    def test_projection_maps_attribute_names(self):
+        translation = translate("q(A, X) :- age(X, A)")
+        cols = [f"{c.alias}.{c.attr}" for c in translation.query.select]
+        assert cols == ["t0.years", "t0.person"]
+
+    def test_duplicate_projection_columns_shipped_once(self):
+        translation = translate("q(X, X) :- parent(X, Y)")
+        assert len(translation.query.select) == 1
+        assert translation.output == (("col", 0), ("col", 0))
+
+    def test_constant_answer_not_shipped(self):
+        translation = translate("q(Y, tom) :- parent(tom, Y)")
+        assert len(translation.query.select) == 1
+        assert translation.output[1] == ("const", "tom")
+
+    def test_boolean_query_ships_witness(self):
+        translation = translate("q(tom, bob) :- parent(tom, bob)")
+        # Fully instantiated: both outputs constant, one witness column.
+        assert len(translation.query.select) == 1
+        assert all(kind == "const" for kind, _ in translation.output)
+
+    def test_no_occurrences_rejected(self):
+        psj = normalize("q(X) :- parent(X, Y)")
+        empty = psj_from_literals("q", [], [], ())
+        with pytest.raises(TranslationError):
+            sql_from_psj(empty, SCHEMAS.__getitem__)
+
+    def test_unsatisfiable_rejected(self):
+        psj = normalize("q(X) :- parent(X, Y), 2 < 1")
+        with pytest.raises(TranslationError):
+            sql_from_psj(psj, SCHEMAS.__getitem__)
+
+    def test_arity_mismatch_rejected(self):
+        psj = normalize("q(X) :- parent(X, Y, Z)")
+        with pytest.raises(TranslationError):
+            sql_from_psj(psj, SCHEMAS.__getitem__)
+
+
+class TestRebuild:
+    def test_rebuild_rows_with_constants(self):
+        translation = translate("q(Y, tom) :- parent(tom, Y)")
+        relation = translation.rebuild([("bob",), ("liz",)])
+        assert set(relation.rows) == {("bob", "tom"), ("liz", "tom")}
+
+    def test_rebuild_duplicate_columns(self):
+        translation = translate("q(X, X) :- parent(X, Y)")
+        relation = translation.rebuild([("tom",)])
+        assert relation.rows == [("tom", "tom")]
+
+    def test_rebuild_boolean_nonempty(self):
+        translation = translate("q(tom, bob) :- parent(tom, bob)")
+        relation = translation.rebuild([("tom",)])
+        assert relation.rows == [("tom", "bob")]
+
+    def test_rebuild_boolean_empty(self):
+        translation = translate("q(tom, bob) :- parent(tom, bob)")
+        assert len(translation.rebuild([])) == 0
+
+
+class TestEndToEnd:
+    """Translated queries executed by a real remote DBMS match local eval."""
+
+    @pytest.fixture
+    def server(self):
+        dbms = RemoteDBMS()
+        dbms.load_table(
+            relation_from_columns(
+                "parent",
+                par=["tom", "tom", "bob", "bob"],
+                child=["bob", "liz", "ann", "pat"],
+            )
+        )
+        dbms.load_table(
+            relation_from_columns(
+                "age",
+                person=["tom", "bob", "liz", "ann", "pat"],
+                years=[60, 35, 33, 8, 10],
+            )
+        )
+        return dbms
+
+    def test_selection_roundtrip(self, server):
+        translation = translate("q(Y) :- parent(tom, Y)")
+        shipped = server.execute(translation.query)
+        result = translation.rebuild(shipped.rows)
+        assert set(result.rows) == {("bob",), ("liz",)}
+
+    def test_join_roundtrip(self, server):
+        translation = translate("q(X, A) :- parent(X, Y), age(Y, A), A < 20")
+        shipped = server.execute(translation.query)
+        result = translation.rebuild(shipped.rows)
+        assert set(result.rows) == {("bob", 8), ("bob", 10)}
+
+    def test_instantiated_roundtrip(self, server):
+        translation = translate("q(Y, tom) :- parent(tom, Y)")
+        shipped = server.execute(translation.query)
+        result = translation.rebuild(shipped.rows)
+        assert set(result.rows) == {("bob", "tom"), ("liz", "tom")}

@@ -1,0 +1,80 @@
+"""Tests for the metrics ledger."""
+
+from repro.common.metrics import Metrics
+
+
+class TestCounters:
+    def test_unset_counter_is_zero(self):
+        assert Metrics().get("remote.requests") == 0
+
+    def test_incr_default_amount(self):
+        m = Metrics()
+        m.incr("remote.requests")
+        m.incr("remote.requests")
+        assert m.get("remote.requests") == 2
+
+    def test_incr_fractional(self):
+        m = Metrics()
+        m.incr("time.remote", 0.25)
+        m.incr("time.remote", 0.5)
+        assert m.get("time.remote") == 0.75
+
+    def test_reset(self):
+        m = Metrics()
+        m.incr("a")
+        m.reset()
+        assert m.get("a") == 0
+
+
+class TestAggregation:
+    def test_by_prefix_matches_dotted_children(self):
+        m = Metrics()
+        m.incr("cache.hits.exact", 3)
+        m.incr("cache.hits.subsumed", 2)
+        m.incr("cache.misses", 1)
+        assert m.by_prefix("cache.hits") == {
+            "cache.hits.exact": 3,
+            "cache.hits.subsumed": 2,
+        }
+
+    def test_by_prefix_does_not_match_name_prefixes(self):
+        m = Metrics()
+        m.incr("cache.hits", 1)
+        m.incr("cache.hitsrate", 9)
+        assert m.by_prefix("cache.hits") == {"cache.hits": 1}
+
+    def test_total(self):
+        m = Metrics()
+        m.incr("remote.requests", 4)
+        m.incr("remote.tuples_shipped", 100)
+        assert m.total("remote") == 104
+
+    def test_snapshot_and_diff(self):
+        m = Metrics()
+        m.incr("a", 1)
+        before = m.snapshot()
+        m.incr("a", 2)
+        m.incr("b", 5)
+        assert m.diff(before) == {"a": 2, "b": 5}
+
+    def test_diff_ignores_unchanged(self):
+        m = Metrics()
+        m.incr("a", 1)
+        before = m.snapshot()
+        assert m.diff(before) == {}
+
+    def test_iteration_sorted(self):
+        m = Metrics()
+        m.incr("z", 1)
+        m.incr("a", 1)
+        assert [name for name, _ in m] == ["a", "z"]
+
+    def test_format_empty(self):
+        assert Metrics().format() == "(no metrics)"
+
+    def test_format_contains_names_and_values(self):
+        m = Metrics()
+        m.incr("remote.requests", 7)
+        out = m.format()
+        assert "remote.requests" in out
+        assert "7" in out

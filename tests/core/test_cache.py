@@ -1,0 +1,201 @@
+"""Tests for cache storage, uses, and replacement."""
+
+import pytest
+
+from repro.common.errors import CacheCapacityError, CacheError
+from repro.relational.generator import generator_from_rows
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.caql.parser import parse_query
+from repro.caql.eval import psj_of, result_schema
+from repro.core.cache import Cache, CacheElement, lru_scorer
+
+
+def make_psj(text):
+    return psj_of(parse_query(text))
+
+
+def make_relation(name, n, width=2):
+    schema = result_schema(name, width)
+    return Relation(schema, [tuple(f"{name}{i}_{j}" for j in range(width)) for i in range(n)])
+
+
+def store(cache, text, rows=5):
+    psj = make_psj(text)
+    return cache.store(psj, make_relation(psj.name, rows, max(psj.arity, 1)))
+
+
+class TestStore:
+    def test_store_and_get(self):
+        cache = Cache()
+        element = store(cache, "d1(X, Y) :- b1(X, Y)")
+        assert cache.get(element.element_id) is element
+        assert len(cache) == 1
+
+    def test_ids_unique(self):
+        cache = Cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
+        assert e1.element_id != e2.element_id
+
+    def test_identical_definition_reuses_element(self):
+        # Section 5.2: one stored instance serves several uses.
+        cache = Cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        psj = make_psj("renamed(A, B) :- b1(A, B)")  # same canonical key
+        e2 = cache.store(psj, make_relation("renamed", 5))
+        assert e1 is e2
+        assert len(cache) == 1
+
+    def test_uses_recorded(self):
+        cache = Cache()
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        e1 = cache.store(psj, make_relation("d1", 3), use="stream-producer")
+        e2 = cache.store(psj, make_relation("d1", 3), use="indexed-lookup")
+        assert e1 is e2
+        assert e1.uses == {"stream-producer", "indexed-lookup"}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CacheError):
+            Cache(capacity_bytes=0)
+
+    def test_discard(self):
+        cache = Cache()
+        element = store(cache, "d1(X, Y) :- b1(X, Y)")
+        cache.discard(element.element_id)
+        assert len(cache) == 0
+        assert cache.elements_for_predicate("b1") == []
+
+    def test_discard_unknown_is_noop(self):
+        Cache().discard("E99")
+
+
+class TestLookup:
+    def test_lookup_exact(self):
+        cache = Cache()
+        store(cache, "d1(X) :- b1(X, c1)")
+        assert cache.lookup_exact(make_psj("other(W) :- b1(W, c1)")) is not None
+        assert cache.lookup_exact(make_psj("other(W) :- b1(W, c2)")) is None
+
+    def test_elements_for_predicate(self):
+        cache = Cache()
+        store(cache, "d1(X, Y) :- b1(X, Y)")
+        store(cache, "d2(X) :- b1(X, Z), b2(Z, X)")
+        assert len(cache.elements_for_predicate("b1")) == 2
+        assert len(cache.elements_for_predicate("b2")) == 1
+        assert cache.elements_for_predicate("zzz") == []
+
+    def test_touch_updates_sequence_and_count(self):
+        cache = Cache()
+        element = store(cache, "d1(X, Y) :- b1(X, Y)")
+        before = element.sequence
+        cache.touch(element)
+        assert element.sequence > before
+        assert element.use_count == 1
+
+
+class TestEviction:
+    def small_cache(self):
+        # Each stored element estimates ~144 bytes: room for exactly two.
+        return Cache(capacity_bytes=320)
+
+    def test_lru_eviction(self):
+        cache = self.small_cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
+        cache.touch(e1)  # e2 becomes least recently used
+        store(cache, "d3(X, Y) :- b3(X, Y)")
+        assert e1.element_id in cache
+        assert e2.element_id not in cache
+        assert cache.eviction_count == 1
+
+    def test_pinned_elements_survive(self):
+        cache = self.small_cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        e1.pinned = True
+        e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
+        store(cache, "d3(X, Y) :- b3(X, Y)")
+        assert e1.element_id in cache
+        assert e2.element_id not in cache
+
+    def test_oversized_element_rejected(self):
+        cache = Cache(capacity_bytes=100)
+        with pytest.raises(CacheCapacityError):
+            store(cache, "d1(X, Y) :- b1(X, Y)", rows=100)
+
+    def test_all_pinned_raises(self):
+        cache = self.small_cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
+        e1.pinned = e2.pinned = True
+        with pytest.raises(CacheCapacityError):
+            store(cache, "d3(X, Y) :- b3(X, Y)")
+
+    def test_custom_scorer_changes_victim(self):
+        cache = self.small_cache()
+        e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
+        e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
+        # Score d2 low (protect), d1 high (evict) despite LRU order.
+        cache.scorer = lambda e: 100.0 if e.view_name == "d1" else 0.0
+        store(cache, "d3(X, Y) :- b3(X, Y)")
+        assert e1.element_id not in cache
+        assert e2.element_id in cache
+
+    def test_used_bytes_tracks_contents(self):
+        cache = Cache()
+        assert cache.used_bytes() == 0
+        store(cache, "d1(X, Y) :- b1(X, Y)")
+        assert cache.used_bytes() > 0
+
+    def test_clear(self):
+        cache = Cache()
+        store(cache, "d1(X, Y) :- b1(X, Y)")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes() == 0
+
+
+class TestCacheElement:
+    def test_generator_element(self):
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        schema = result_schema("d1", 2)
+        gen = generator_from_rows(schema, [(1, 2), (3, 4)])
+        element = CacheElement("E1", psj, gen)
+        assert element.is_generator
+        assert element.rows_materialized() == 0
+        gen.take(1)
+        assert element.rows_materialized() == 1
+
+    def test_promote_generator(self):
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        gen = generator_from_rows(result_schema("d1", 2), [(1, 2)])
+        element = CacheElement("E1", psj, gen)
+        extension = element.promote()
+        assert not element.is_generator
+        assert extension.rows == [(1, 2)]
+
+    def test_indexes_promote_generator(self):
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        gen = generator_from_rows(result_schema("d1", 2), [(1, 2), (3, 4)])
+        element = CacheElement("E1", psj, gen)
+        indexes = element.indexes()
+        index = indexes.ensure(("a0",))
+        assert index.lookup((1,)) == [(1, 2)]
+
+    def test_has_index_on(self):
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        element = CacheElement("E1", psj, make_relation("d1", 2))
+        assert not element.has_index_on(("a0",))
+        element.indexes().ensure(("a0",))
+        assert element.has_index_on(("a0",))
+
+    def test_view_name(self):
+        psj = make_psj("d7(X, Y) :- b1(X, Y)")
+        element = CacheElement("E1", psj, make_relation("d7", 1))
+        assert element.view_name == "d7"
+
+    def test_lru_scorer_orders_by_recency(self):
+        psj = make_psj("d1(X, Y) :- b1(X, Y)")
+        old = CacheElement("E1", psj, make_relation("d1", 1), sequence=1)
+        new = CacheElement("E2", psj, make_relation("d1", 1), sequence=9)
+        assert lru_scorer(old) > lru_scorer(new)

@@ -1,0 +1,177 @@
+"""Unit tests for the Execution Monitor and result streams."""
+
+import pytest
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import PlanningError
+from repro.common.metrics import CACHE_TUPLES_PROCESSED, Metrics
+from repro.relational.generator import generator_from_rows
+from repro.relational.relation import Relation, relation_from_columns
+from repro.remote.server import RemoteDBMS
+from repro.caql.eval import evaluate_psj, psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.caql.psj import psj_from_literals
+from repro.core.cache import Cache
+from repro.core.executor import ExecutionMonitor, ResultStream
+from repro.core.plan import QueryPlan
+from repro.core.planner import QueryPlanner
+from repro.core.advice_manager import AdviceManager
+from repro.core.rdi import RemoteInterface
+
+
+def make_psj(text):
+    return psj_of(parse_query(text))
+
+
+B2 = Relation(result_schema("b2", 2), [(x, z) for x in range(4) for z in range(4)])
+B3 = Relation(
+    result_schema("b3", 3),
+    [(z, c, y) for z in range(4) for c in ("c2", "c3") for y in range(3)],
+)
+
+
+def make_monitor(cache=None):
+    server = RemoteDBMS()
+    server.load_table(B2.renamed("b2"))
+    server.load_table(B3.renamed("b3"))
+    cache = cache if cache is not None else Cache()
+    monitor = ExecutionMonitor(
+        cache,
+        RemoteInterface(server),
+        server.clock,
+        server.profile,
+        server.metrics,
+    )
+    return monitor, cache, server
+
+
+def make_planner(cache, server):
+    manager = AdviceManager()
+    manager.begin_session(None)
+    rdi = RemoteInterface(server)
+    return QueryPlanner(cache, manager, rdi.statistics_of, server.profile)
+
+
+class TestDegenerateStrategies:
+    def test_unsatisfiable_plan_empty(self):
+        monitor, _cache, _server = make_monitor()
+        psj = make_psj("q(X) :- b2(X, Z), 1 > 2")
+        result = monitor.execute(QueryPlan(psj, "unsatisfiable"))
+        assert len(result) == 0
+
+    def test_unit_plan(self):
+        monitor, _cache, _server = make_monitor()
+        psj = psj_from_literals("q", [], [], ())
+        result = monitor.execute(QueryPlan(psj, "unit"))
+        assert result.rows == [(True,)]
+
+    def test_unknown_strategy_rejected(self):
+        monitor, _cache, _server = make_monitor()
+        psj = make_psj("q(X, Z) :- b2(X, Z)")
+        with pytest.raises(PlanningError):
+            monitor.execute(QueryPlan(psj, "teleport"))
+
+    def test_exact_plan_with_vanished_element(self):
+        monitor, _cache, _server = make_monitor()
+        psj = make_psj("q(X, Z) :- b2(X, Z)")
+        with pytest.raises(PlanningError):
+            monitor.execute(QueryPlan(psj, "exact"))
+
+    def test_cache_full_plan_without_match(self):
+        monitor, _cache, _server = make_monitor()
+        psj = make_psj("q(X, Z) :- b2(X, Z)")
+        with pytest.raises(PlanningError):
+            monitor.execute(QueryPlan(psj, "cache-full"))
+
+
+class TestPlansEndToEnd:
+    def run_plan(self, query_text, warm_texts=()):
+        monitor, cache, server = make_monitor()
+        lookup = {"b2": B2, "b3": B3}.__getitem__
+        for text in warm_texts:
+            psj = make_psj(text)
+            cache.store(psj, evaluate_psj(psj, lookup))
+        planner = make_planner(cache, server)
+        psj = make_psj(query_text)
+        plan = planner.plan(psj)
+        result = monitor.execute(psj and plan)
+        expected = evaluate_psj(psj, lookup)
+        return plan, result, expected, monitor
+
+    def test_remote_plan_matches_direct_eval(self):
+        plan, result, expected, _ = self.run_plan("q(X, Z) :- b2(X, Z), X < 2")
+        assert plan.strategy == "remote"
+        assert result == expected
+
+    def test_cache_full_plan_matches(self):
+        plan, result, expected, _ = self.run_plan(
+            "q(Z) :- b2(2, Z)", warm_texts=["scan(X, Z) :- b2(X, Z)"]
+        )
+        assert plan.strategy == "cache-full"
+        assert result == expected
+
+    def test_hybrid_plan_matches(self):
+        plan, result, expected, _ = self.run_plan(
+            "q(Z) :- b2(2, Z), b3(Z, c2, 1)",
+            warm_texts=["e12(X, Y) :- b3(X, c2, Y)"],
+        )
+        assert plan.strategy == "hybrid"
+        assert result == expected
+
+    def test_hybrid_charges_local_work(self):
+        _plan, _result, _expected, monitor = self.run_plan(
+            "q(Z) :- b2(2, Z), b3(Z, c2, 1)",
+            warm_texts=["e12(X, Y) :- b3(X, c2, Y)"],
+        )
+        assert monitor.metrics.get(CACHE_TUPLES_PROCESSED) > 0
+
+    def test_parallel_overlap_in_hybrid(self):
+        monitor, cache, server = make_monitor()
+        lookup = {"b2": B2, "b3": B3}.__getitem__
+        psj_e = make_psj("e12(X, Y) :- b3(X, c2, Y)")
+        cache.store(psj_e, evaluate_psj(psj_e, lookup))
+        planner = make_planner(cache, server)
+        psj = make_psj("q(Z) :- b2(2, Z), b3(Z, c2, 1)")
+        plan = planner.plan(psj)
+        assert plan.strategy == "hybrid"
+        monitor.execute(plan)  # warm the RDI's schema cache (one-time cost)
+
+        monitor.parallel = True
+        before = server.clock.now
+        monitor.execute(plan)
+        parallel_time = server.clock.now - before
+
+        monitor.parallel = False
+        before = server.clock.now
+        monitor.execute(plan)
+        sequential_time = server.clock.now - before
+        assert parallel_time <= sequential_time
+
+
+class TestResultStream:
+    def test_next_and_exhaustion(self):
+        relation = relation_from_columns("r", a=[1, 2])
+        stream = ResultStream(relation, "r")
+        assert stream.next() == (1,)
+        assert stream.next() == (2,)
+        assert stream.next() is None
+
+    def test_iteration(self):
+        relation = relation_from_columns("r", a=[1, 2, 3])
+        assert len(list(ResultStream(relation, "r"))) == 3
+
+    def test_fetch_all_on_generator(self):
+        gen = generator_from_rows(result_schema("g", 1), [(1,), (2,)])
+        stream = ResultStream(gen, "g")
+        assert stream.lazy
+        assert stream.fetch_all() == [(1,), (2,)]
+
+    def test_as_relation_materializes(self):
+        gen = generator_from_rows(result_schema("g", 1), [(9,)])
+        relation = ResultStream(gen, "g").as_relation()
+        assert isinstance(relation, Relation)
+        assert relation.rows == [(9,)]
+
+    def test_schema_passthrough(self):
+        relation = relation_from_columns("r", a=[1])
+        assert ResultStream(relation, "r").schema.attributes == ("a",)

@@ -1,0 +1,59 @@
+"""Tests for the CMS's debug logging (the operator-facing trace)."""
+
+import logging
+
+import pytest
+
+from repro.advice.language import AdviceSet
+from repro.advice.path_expression import Cardinality, QueryPattern, Sequence
+from repro.advice.view_spec import annotate
+from repro.caql.parser import parse_query
+from repro.core.cms import CacheManagementSystem
+from repro.relational.relation import relation_from_columns
+from repro.remote.server import RemoteDBMS
+
+
+@pytest.fixture
+def cms():
+    server = RemoteDBMS()
+    server.load_table(
+        relation_from_columns("parent", par=["a", "a", "b"], child=["b", "c", "d"])
+    )
+    return CacheManagementSystem(server)
+
+
+def records(caplog):
+    return [r.getMessage() for r in caplog.records if r.name == "repro.cms"]
+
+
+class TestDecisionTrace:
+    def test_session_logged(self, cms, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.cms"):
+            cms.begin_session()
+        assert any("session: no advice" in m for m in records(caplog))
+
+    def test_plan_strategy_logged(self, cms, caplog):
+        cms.begin_session()
+        q = parse_query("q(Y) :- parent(a, Y)")
+        with caplog.at_level(logging.DEBUG, logger="repro.cms"):
+            cms.query(q)
+            cms.query(q)
+        messages = records(caplog)
+        assert any("plan[remote]" in m for m in messages)
+        assert any("plan[exact]" in m for m in messages)
+
+    def test_generalization_logged(self, cms, caplog):
+        view = annotate(parse_query("dkids(P, C) :- parent(P, C)"), "?^")
+        path = Sequence(
+            (QueryPattern("dkids", ("P?", "C^")),), lower=0, upper=Cardinality("P")
+        )
+        cms.begin_session(AdviceSet.from_views([view], path_expression=path))
+        with caplog.at_level(logging.DEBUG, logger="repro.cms"):
+            cms.query(parse_query("dkids(a, C) :- parent(a, C)"))
+        assert any("generalize: fetching" in m for m in records(caplog))
+
+    def test_silent_by_default(self, cms, caplog):
+        cms.begin_session()
+        with caplog.at_level(logging.INFO, logger="repro.cms"):
+            cms.query(parse_query("q(Y) :- parent(a, Y)"))
+        assert records(caplog) == []

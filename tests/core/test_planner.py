@@ -1,0 +1,229 @@
+"""Tests for the three-step Query Planner/Optimizer."""
+
+import pytest
+
+from repro.common.clock import CostProfile
+from repro.relational.relation import Relation
+from repro.relational.statistics import RelationStatistics
+from repro.caql.eval import evaluate_psj, psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.advice.language import AdviceSet
+from repro.advice.path_expression import Cardinality, QueryPattern, Sequence
+from repro.advice.view_spec import annotate
+from repro.core.advice_manager import AdviceManager
+from repro.core.cache import Cache
+from repro.core.plan import CachePart, RemotePart
+from repro.core.planner import PlannerFeatures, QueryPlanner
+
+
+def make_psj(text):
+    return psj_of(parse_query(text))
+
+
+B2_ROWS = [(x, z) for x in range(5) for z in range(5)]
+B3_ROWS = [(z, c, y) for z in range(5) for c in ("c2", "c3") for y in range(3)]
+DB = {
+    "b2": Relation(result_schema("b2", 2), B2_ROWS),
+    "b3": Relation(result_schema("b3", 3), B3_ROWS),
+}
+
+
+def stats_of(pred):
+    return RelationStatistics.from_relation(DB[pred])
+
+
+def make_planner(cache=None, advice=None, features=None):
+    manager = AdviceManager()
+    if advice is not None:
+        manager.begin_session(advice)
+    else:
+        manager.begin_session(None)
+    return QueryPlanner(
+        cache if cache is not None else Cache(),
+        manager,
+        stats_of,
+        CostProfile(),
+        features,
+    )
+
+
+def cache_with(*texts):
+    cache = Cache()
+    for text in texts:
+        psj = make_psj(text)
+        cache.store(psj, evaluate_psj(psj, DB.__getitem__))
+    return cache
+
+
+class TestDegenerate:
+    def test_unsatisfiable(self):
+        planner = make_planner()
+        plan = planner.plan(make_psj("q(X) :- b2(X, Z), 2 < 1"))
+        assert plan.strategy == "unsatisfiable"
+
+    def test_unit_query(self):
+        from repro.caql.psj import psj_from_literals
+
+        planner = make_planner()
+        plan = planner.plan(psj_from_literals("q", [], [], ()))
+        assert plan.strategy == "unit"
+
+
+class TestStrategySelection:
+    def test_cold_cache_goes_remote(self):
+        planner = make_planner()
+        plan = planner.plan(make_psj("q(X, Z) :- b2(X, Z)"))
+        assert plan.strategy == "remote"
+        assert len(plan.parts) == 1
+        assert isinstance(plan.parts[0], RemotePart)
+
+    def test_exact_hit(self):
+        cache = cache_with("q(X, Z) :- b2(X, Z)")
+        planner = make_planner(cache)
+        plan = planner.plan(make_psj("q2(A, B) :- b2(A, B)"))
+        assert plan.strategy == "exact"
+        assert not plan.cache_result  # already cached
+
+    def test_full_subsumption(self):
+        cache = cache_with("scan(X, Z) :- b2(X, Z)")
+        planner = make_planner(cache)
+        plan = planner.plan(make_psj("q(Z) :- b2(2, Z)"))
+        assert plan.strategy == "cache-full"
+        assert plan.full_match is not None
+
+    def test_hybrid_split(self):
+        # The uncovered remote part (b2 with X pinned) ships few tuples, so
+        # the hybrid split beats re-shipping the join.
+        cache = cache_with("e12(X, Y) :- b3(X, c2, Y)")
+        planner = make_planner(cache)
+        plan = planner.plan(make_psj("d2(Z) :- b2(2, Z), b3(Z, c2, 1)"))
+        assert plan.strategy == "hybrid"
+        kinds = {type(p) for p in plan.parts}
+        assert kinds == {CachePart, RemotePart}
+
+    def test_hybrid_remote_subquery_contents(self):
+        cache = cache_with("e12(X, Y) :- b3(X, c2, Y)")
+        planner = make_planner(cache)
+        plan = planner.plan(make_psj("d2(Z) :- b2(2, Z), b3(Z, c2, 1)"))
+        remote = next(p for p in plan.parts if isinstance(p, RemotePart))
+        assert [o.pred for o in remote.sub_query.occurrences] == ["b2"]
+        # The cross join condition stays at the combine stage.
+        assert len(plan.cross_conditions) == 1
+
+    def test_whole_query_shipping_can_beat_hybrid(self):
+        # With an unconstrained b2, fetching all of b2 costs more than
+        # letting the server do the join — the paper's plan (b).
+        cache = cache_with("e12(X, Y) :- b3(X, c2, Y)")
+        planner = make_planner(cache)
+        plan = planner.plan(make_psj("d2(X) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert plan.strategy == "remote"
+        assert any("shipping beat" in note for note in plan.notes)
+
+    def test_caching_disabled_always_remote(self):
+        cache = cache_with("scan(X, Z) :- b2(X, Z)")
+        features = PlannerFeatures(caching=False)
+        planner = make_planner(cache, features=features)
+        plan = planner.plan(make_psj("q(Z) :- b2(2, Z)"))
+        assert plan.strategy == "remote"
+        assert not plan.cache_result
+
+    def test_subsumption_disabled_only_exact(self):
+        cache = cache_with("scan(X, Z) :- b2(X, Z)")
+        features = PlannerFeatures(subsumption=False)
+        planner = make_planner(cache, features=features)
+        assert planner.plan(make_psj("q(Z) :- b2(2, Z)")).strategy == "remote"
+        assert planner.plan(make_psj("q(X, Z) :- b2(X, Z)")).strategy == "exact"
+
+
+class TestAdviceDrivenDecisions:
+    def advice(self):
+        d2 = annotate(parse_query("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)"), "^?")
+        path = Sequence((QueryPattern("d2", ("X^", "Y?")),), lower=0, upper=Cardinality("Y"))
+        return AdviceSet.from_views([d2], path_expression=path)
+
+    def test_generalization_prefetch_planned(self):
+        planner = make_planner(advice=self.advice())
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert plan.prefetches
+        general = plan.prefetches[0]
+        assert general.name == "d2__general"
+        # The general query carries no pinned answer constant.
+        assert all(not str(c).endswith("= 1") for c in general.conditions)
+
+    def test_no_generalization_without_repetition(self):
+        d2 = annotate(parse_query("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)"), "^?")
+        path = Sequence((QueryPattern("d2"),), lower=1, upper=1)
+        advice = AdviceSet.from_views([d2], path_expression=path)
+        planner = make_planner(advice=advice)
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert not plan.prefetches
+
+    def test_no_generalization_without_consumers(self):
+        d2 = annotate(parse_query("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)"), "^^")
+        path = Sequence((QueryPattern("d2"),), lower=0, upper=None)
+        advice = AdviceSet.from_views([d2], path_expression=path)
+        planner = make_planner(advice=advice)
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert not plan.prefetches
+
+    def test_generalization_feature_flag(self):
+        features = PlannerFeatures(generalization=False)
+        planner = make_planner(advice=self.advice(), features=features)
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert not plan.prefetches
+
+    def test_index_positions_from_consumer_annotations(self):
+        planner = make_planner(advice=self.advice())
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert plan.index_positions == (1,)
+
+    def test_lazy_for_pure_producer_on_full_match(self):
+        d2 = annotate(parse_query("d2(X, Z) :- b2(X, Z)"), "^^")
+        advice = AdviceSet.from_views([d2])
+        cache = cache_with("scan(X, Z) :- b2(X, Z)")
+        planner = make_planner(cache, advice=advice)
+        plan = planner.plan(make_psj("d2(X, Z) :- b2(X, Z), X < 2"))
+        assert plan.strategy == "cache-full"
+        assert plan.lazy
+
+    def test_not_lazy_for_consumer_views(self):
+        cache = cache_with("scan(X, Z) :- b2(X, Z)")
+        planner = make_planner(cache, advice=self.advice())
+        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        # Not a full match here, but even for full matches the consumer
+        # annotation should suppress lazy evaluation:
+        cache2 = cache_with("whole(X, Z, Y) :- b2(X, Z), b3(Z, c2, Y)")
+        planner2 = make_planner(cache2, advice=self.advice())
+        plan2 = planner2.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        assert plan2.strategy == "cache-full"
+        assert not plan2.lazy
+
+
+class TestCostModel:
+    def test_estimate_rows_selection(self):
+        planner = make_planner()
+        full = planner.estimate_rows(make_psj("q(X, Z) :- b2(X, Z)"))
+        selected = planner.estimate_rows(make_psj("q(Z) :- b2(2, Z)"))
+        assert selected < full
+        assert full == pytest.approx(25.0)
+
+    def test_estimate_rows_join_selectivity(self):
+        planner = make_planner()
+        cross_like = planner.estimate_rows(make_psj("q(X, Y) :- b2(X, Z), b3(Z, c2, Y)"))
+        assert cross_like < 25 * 30
+
+    def test_remote_cost_grows_with_tables(self):
+        planner = make_planner()
+        single = planner._remote_cost(make_psj("q(X, Z) :- b2(X, Z)"))
+        double = planner._remote_cost(make_psj("q(X, Y) :- b2(X, Z), b3(Z, c2, Y)"))
+        assert double > single
+
+    def test_plan_records_estimates(self):
+        planner = make_planner()
+        plan = planner.plan(make_psj("q(X, Z) :- b2(X, Z)"))
+        assert plan.estimated_remote_cost > 0
+
+    def test_describe_mentions_strategy(self):
+        planner = make_planner()
+        plan = planner.plan(make_psj("q(X, Z) :- b2(X, Z)"))
+        assert "remote" in plan.describe()

@@ -1,0 +1,49 @@
+"""Tests for memoized alternative sortings (Section 5.2)."""
+
+from repro.caql.eval import psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.relational.generator import generator_from_rows
+from repro.relational.relation import Relation
+from repro.core.cache import CacheElement
+
+
+def make_element(rows=((3, "c"), (1, "a"), (2, "b"))):
+    psj = psj_of(parse_query("d(X, Y) :- b(X, Y)"))
+    return CacheElement("E1", psj, Relation(result_schema("d", 2), rows))
+
+
+class TestSortedViews:
+    def test_sorted_ascending(self):
+        element = make_element()
+        view = element.sorted_view(("a0",))
+        assert view.rows == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_sorted_descending(self):
+        element = make_element()
+        view = element.sorted_view(("a0",), reverse=True)
+        assert view.rows == [(3, "c"), (2, "b"), (1, "a")]
+
+    def test_memoized_per_ordering(self):
+        element = make_element()
+        first = element.sorted_view(("a0",))
+        again = element.sorted_view(("a0",))
+        assert first is again  # computed once
+
+    def test_distinct_orderings_coexist(self):
+        element = make_element()
+        by_key = element.sorted_view(("a0",))
+        by_value = element.sorted_view(("a1",), reverse=True)
+        assert by_key is not by_value
+        assert by_value.rows[0] == (3, "c")
+
+    def test_original_representation_untouched(self):
+        element = make_element()
+        element.sorted_view(("a0",))
+        assert element.extension().rows == [(3, "c"), (1, "a"), (2, "b")]
+
+    def test_generator_element_promoted_for_sorting(self):
+        psj = psj_of(parse_query("d(X, Y) :- b(X, Y)"))
+        gen = generator_from_rows(result_schema("d", 2), [(2, "b"), (1, "a")])
+        element = CacheElement("E1", psj, gen)
+        view = element.sorted_view(("a0",))
+        assert view.rows == [(1, "a"), (2, "b")]

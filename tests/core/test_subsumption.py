@@ -1,0 +1,299 @@
+"""Tests for the subsumption algorithm — the paper's Section 5.3.2.
+
+Naming follows the paper's running examples where possible (E11/E12/E13,
+b2/b3, etc.).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.relation import Relation
+from repro.caql.eval import evaluate_psj, psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.core.cache import Cache
+from repro.core.subsumption import (
+    derive_full,
+    derive_full_lazy,
+    derive_part,
+    find_relevant,
+    match_element,
+)
+
+
+def make_psj(text):
+    return psj_of(parse_query(text))
+
+
+# A tiny database for end-to-end derivation checks.
+B2_ROWS = [(x, z) for x in range(4) for z in range(4) if (x + z) % 2 == 0]
+B3_ROWS = [(z, c, y) for z in range(4) for c in ("c2", "c3") for y in range(3)]
+DB = {
+    "b2": Relation(result_schema("b2", 2), B2_ROWS),
+    "b3": Relation(result_schema("b3", 3), B3_ROWS),
+}
+
+
+def cache_with(*texts):
+    """A cache holding the *actual* evaluation of each definition."""
+    cache = Cache()
+    elements = []
+    for text in texts:
+        psj = make_psj(text)
+        relation = evaluate_psj(psj, DB.__getitem__)
+        elements.append(cache.store(psj, relation))
+    return cache, elements
+
+
+class TestPaperExamples:
+    """The b21 examples of Section 5.3.2 step 1."""
+
+    def test_e1_subsumes_single_predicate_query(self):
+        # Q_c1 = b21(X, 2); E1 = b21(X, Y) & b22(Y, Z): E1's b21 occurrence
+        # can match (its conditions add the join, which is *more*
+        # restrictive, so E1 must NOT fully subsume the single-literal Q).
+        cache = Cache()
+        e1_psj = make_psj("e1(X, Y, Z) :- b21(X, Y), b22(Y, Z)")
+        e1 = cache.store(e1_psj, Relation(result_schema("e1", 3)))
+        query = make_psj("q(X) :- b21(X, 2)")
+        matches = list(match_element(e1, query))
+        # The b21 occurrence of E1 maps, but E1's join condition with b22
+        # cannot be implied by the query's conditions: no match.
+        assert matches == []
+
+    def test_e2_more_restricted_no_match(self):
+        # E2 = b21(3, Y) cannot subsume Q = b21(X, 2): X ranges wider.
+        cache = Cache()
+        e2 = cache.store(make_psj("e2(Y) :- b21(3, Y)"), Relation(result_schema("e2", 1)))
+        query = make_psj("q(X) :- b21(X, 2)")
+        assert list(match_element(e2, query)) == []
+
+    def test_e2_projection_loss_also_blocks(self):
+        # Even b21(3, Y) vs the query b21(3, 2): E2 projects only Y, the
+        # query needs X=3 — available as a constant, fine; but residual
+        # condition on Y=2 needs Y, which *is* projected: match succeeds.
+        cache = Cache()
+        e2 = cache.store(make_psj("e2(Y) :- b21(3, Y)"), Relation(result_schema("e2", 1)))
+        query = make_psj("q(3) :- b21(3, 2)")
+        matches = list(match_element(e2, query))
+        assert len(matches) == 1
+        assert matches[0].is_full
+
+
+class TestFullSubsumption:
+    def test_unconstrained_scan_subsumes_selection(self):
+        cache, (element,) = cache_with("scan(X, Z) :- b2(X, Z)")
+        query = make_psj("q(Z) :- b2(2, Z)")
+        matches = [m for m in match_element(element, query)]
+        assert matches and matches[0].is_full
+        derived = derive_full(matches[0], query)
+        expected = evaluate_psj(query, DB.__getitem__)
+        assert derived == expected
+
+    def test_range_subsumes_narrower_range(self):
+        cache, (element,) = cache_with("wide(X, Z) :- b2(X, Z), X < 3")
+        query = make_psj("q(X, Z) :- b2(X, Z), X < 2")
+        (match,) = list(match_element(element, query))
+        assert match.is_full
+        derived = derive_full(match, query)
+        assert derived == evaluate_psj(query, DB.__getitem__)
+
+    def test_narrow_does_not_subsume_wide(self):
+        cache, (element,) = cache_with("narrow(X, Z) :- b2(X, Z), X < 2")
+        query = make_psj("q(X, Z) :- b2(X, Z), X < 3")
+        assert list(match_element(element, query)) == []
+
+    def test_join_element_subsumes_join_query(self):
+        cache, (element,) = cache_with("j(X, Z, C, Y) :- b2(X, Z), b3(Z, C, Y)")
+        query = make_psj("q(X, Y) :- b2(X, Z), b3(Z, c2, Y)")
+        matches = [m for m in match_element(element, query) if m.is_full]
+        assert matches
+        derived = derive_full(matches[0], query)
+        assert derived == evaluate_psj(query, DB.__getitem__)
+
+    def test_exact_match_has_no_residual(self):
+        cache, (element,) = cache_with("s(Z) :- b2(2, Z)")
+        query = make_psj("q(Z) :- b2(2, Z)")
+        (match,) = [m for m in match_element(element, query) if m.is_full]
+        assert match.exact
+
+    def test_projection_must_survive(self):
+        # Element projects only X; query needs Z for its projection.
+        cache, (element,) = cache_with("narrow(X) :- b2(X, Z)")
+        query = make_psj("q(X, Z) :- b2(X, Z)")
+        assert list(match_element(element, query)) == []
+
+    def test_residual_condition_needs_projected_column(self):
+        # Element projects only X; query filters on Z.
+        cache, (element,) = cache_with("narrow(X) :- b2(X, Z)")
+        query = make_psj("q(X) :- b2(X, 2)")
+        assert list(match_element(element, query)) == []
+
+    def test_implied_residual_skipped(self):
+        cache, (element,) = cache_with("same(X, Z) :- b2(X, Z), X < 2")
+        query = make_psj("q(X, Z) :- b2(X, Z), X < 2")
+        (match,) = [m for m in match_element(element, query) if m.is_full]
+        assert match.residual_conditions == ()
+
+    def test_constant_answer_positions(self):
+        cache, (element,) = cache_with("scan(X, Z) :- b2(X, Z)")
+        query = make_psj("q(Z, marker) :- b2(2, Z)")
+        (match,) = [m for m in match_element(element, query) if m.is_full]
+        derived = derive_full(match, query)
+        assert all(row[1] == "marker" for row in derived)
+
+
+class TestSelfJoinMapping:
+    def test_self_join_query_against_single_occurrence_element(self):
+        cache, (element,) = cache_with("scan(X, Z) :- b2(X, Z)")
+        query = make_psj("q(X, Y) :- b2(X, Z), b2(Z, Y)")
+        matches = list(match_element(element, query))
+        # The single-occurrence element can cover either occurrence.
+        assert len(matches) == 2
+        assert all(not m.is_full for m in matches)
+        covered = {next(iter(m.covered_tags)) for m in matches}
+        assert covered == {"t0", "t1"}
+
+    def test_two_occurrence_element_against_self_join(self):
+        cache, (element,) = cache_with("pairs(X, Z, Y) :- b2(X, Z), b2(Z, Y)")
+        query = make_psj("q(X, Y) :- b2(X, Z), b2(Z, Y)")
+        full = [m for m in match_element(element, query) if m.is_full]
+        assert full
+        derived = derive_full(full[0], query)
+        assert derived == evaluate_psj(query, DB.__getitem__)
+
+
+class TestPartialMatches:
+    def test_partial_coverage_of_join_query(self):
+        # The paper's E12: b3(X, c2, Y) can compute the b3 part of
+        # d2(X, c6) = b2(X, Z) & b3(Z, c2, c6).
+        cache, (e12,) = cache_with("e12(X, Y) :- b3(X, c2, Y)")
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        matches = list(match_element(e12, query))
+        assert len(matches) == 1
+        match = matches[0]
+        assert not match.is_full
+        assert match.covered_tags == frozenset({"t1"})
+
+    def test_e13_also_relevant(self):
+        # E13 = b3(X, Y, Z) unconstrained also covers the b3 part.
+        cache, (e13,) = cache_with("e13(X, Y, Z) :- b3(X, Y, Z)")
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        matches = list(match_element(e13, query))
+        assert len(matches) == 1
+        assert matches[0].covered_tags == frozenset({"t1"})
+
+    def test_derive_part_values(self):
+        cache, (e13,) = cache_with("e13(X, Y, Z) :- b3(X, Y, Z)")
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        (match,) = list(match_element(e13, query))
+        part = derive_part(match, ["t1.c0"])
+        # Rows of b3 with c2/c6 in positions 1/2, projected to position 0.
+        expected = {(z,) for (z, c, y) in B3_ROWS if c == "c2" and y == "c6"}
+        assert set(part.rows) == expected
+
+    def test_derive_part_missing_column_rejected(self):
+        cache, (e12,) = cache_with("e12(X) :- b3(X, c2, c6)")
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        matches = list(match_element(e12, query))
+        (match,) = matches
+        with pytest.raises(ValueError):
+            derive_part(match, ["t1.c2"])
+
+
+class TestFindRelevant:
+    def test_paper_example_relevant_set(self):
+        # Section 5.3.2: cache = {E11, E12, E13}; query d2(X, c6).
+        cache, elements = cache_with(
+            "e11(X, Y) :- b2(X, c1), b3(Y, c2, c6)",
+            "e12(X, Y) :- b3(X, c2, Y)",
+            "e13(X, Y, Z) :- b3(X, Y, Z)",
+        )
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        matches = find_relevant(cache, query)
+        relevant_ids = {m.element.element_id for m in matches}
+        # E12 and E13 can compute the b3 part (the paper's conclusion).
+        assert elements[1].element_id in relevant_ids
+        assert elements[2].element_id in relevant_ids
+
+    def test_full_matches_sorted_first(self):
+        cache, elements = cache_with(
+            "part(X) :- b3(X, c2, c6)",
+            "whole(X, Z) :- b2(X, Z), b3(Z, c2, c6)",
+        )
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        matches = find_relevant(cache, query)
+        assert matches[0].is_full
+
+    def test_unrelated_elements_ignored(self):
+        cache, _ = cache_with("other(X, Z) :- b2(X, Z)")
+        query = make_psj("q(X, Y, Z) :- b3(X, Y, Z)")
+        assert find_relevant(cache, query) == []
+
+    def test_element_with_extra_predicate_ignored(self):
+        cache, _ = cache_with("j(X, Z, C, Y) :- b2(X, Z), b3(Z, C, Y)")
+        query = make_psj("q(X, Z) :- b2(X, Z)")
+        assert find_relevant(cache, query) == []
+
+
+class TestLazyDerivation:
+    def test_lazy_matches_eager(self):
+        cache, (element,) = cache_with("scan(X, Z) :- b2(X, Z)")
+        query = make_psj("q(Z) :- b2(2, Z)")
+        (match,) = [m for m in match_element(element, query) if m.is_full]
+        lazy = derive_full_lazy(match, query)
+        eager = derive_full(match, query)
+        assert lazy.to_extension() == eager
+
+    def test_lazy_produces_on_demand(self):
+        cache, (element,) = cache_with("scan(X, Z) :- b2(X, Z)")
+        query = make_psj("q(X, Z) :- b2(X, Z)")
+        (match,) = [m for m in match_element(element, query) if m.is_full]
+        lazy = derive_full_lazy(match, query)
+        assert lazy.produced_count == 0
+        lazy.take(2)
+        assert lazy.produced_count == 2
+
+    def test_derive_full_on_partial_rejected(self):
+        cache, (e12,) = cache_with("e12(X, Y) :- b3(X, c2, Y)")
+        query = make_psj("d2(X) :- b2(X, Z), b3(Z, c2, c6)")
+        (match,) = list(match_element(e12, query))
+        with pytest.raises(ValueError):
+            derive_full(match, query)
+
+
+# -- property test: subsumption-derived results equal direct evaluation -----------
+
+element_texts = st.sampled_from(
+    [
+        "e(X, Z) :- b2(X, Z)",
+        "e(X, Z) :- b2(X, Z), X < 3",
+        "e(Z) :- b2(1, Z)",
+        "e(X, Z, C, Y) :- b2(X, Z), b3(Z, C, Y)",
+        "e(X, Y) :- b3(X, c2, Y)",
+    ]
+)
+query_texts = st.sampled_from(
+    [
+        "q(Z) :- b2(1, Z)",
+        "q(X, Z) :- b2(X, Z), X < 2",
+        "q(X) :- b2(X, 2)",
+        "q(X, Y) :- b2(X, Z), b3(Z, c2, Y)",
+        "q(Y) :- b3(1, c2, Y)",
+        "q(X, Z) :- b2(X, Z)",
+    ]
+)
+
+
+@given(element_texts, query_texts)
+def test_full_match_derivation_is_correct(element_text, query_text):
+    """Whenever subsumption claims a full match, deriving through it must
+    equal evaluating the query directly against the database."""
+    cache = Cache()
+    element_psj = make_psj(element_text)
+    element = cache.store(element_psj, evaluate_psj(element_psj, DB.__getitem__))
+    query = make_psj(query_text)
+    for match in match_element(element, query):
+        if match.is_full:
+            derived = derive_full(match, query)
+            assert derived == evaluate_psj(query, DB.__getitem__)

@@ -1,0 +1,140 @@
+"""Tests for answer justification (proof trees)."""
+
+import pytest
+
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atom
+from repro.relational.relation import relation_from_columns
+from repro.remote.server import RemoteDBMS
+from repro.core.cms import CacheManagementSystem
+from repro.ie.engine import InferenceEngine
+from repro.ie.explain import BUILTIN_FACT, DATABASE_FACT, NEGATION, RULE, Explainer
+
+
+def build():
+    server = RemoteDBMS()
+    server.load_table(
+        relation_from_columns(
+            "parent",
+            par=["tom", "tom", "bob"],
+            child=["bob", "liz", "ann"],
+        )
+    )
+    server.load_table(
+        relation_from_columns(
+            "age", person=["tom", "bob", "liz", "ann"], years=[60, 35, 33, 8]
+        )
+    )
+    kb = KnowledgeBase()
+    kb.declare_database("parent", 2)
+    kb.declare_database("age", 2)
+    kb.add_rules(
+        """
+        ancestor(X, Y) :- parent(X, Y).
+        ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+        minor(X) :- age(X, A), A < 18.
+        orphan_like(X) :- age(X, A), \\+ parent(P, X).
+        """
+    )
+    cms = CacheManagementSystem(server)
+    cms.begin_session()
+    return kb, cms
+
+
+class TestProofShapes:
+    def test_database_fact(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("parent(tom, bob)"))
+        assert proof.kind == DATABASE_FACT
+        assert proof.children == ()
+
+    def test_false_goal_has_no_proof(self):
+        kb, cms = build()
+        assert Explainer(kb, cms).explain(parse_atom("parent(bob, tom)")) is None
+
+    def test_single_rule(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("ancestor(tom, bob)"))
+        assert proof.kind == RULE
+        assert proof.rule_id == "R1"
+        assert [c.kind for c in proof.children] == [DATABASE_FACT]
+
+    def test_recursive_proof(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("ancestor(tom, ann)"))
+        assert proof.rules_used() == ["R2", "R1"]
+        facts = [str(f) for f in proof.facts_used()]
+        assert facts == ["parent(tom, bob)", "parent(bob, ann)"]
+
+    def test_builtin_step(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("minor(ann)"))
+        kinds = [c.kind for c in proof.children]
+        assert kinds == [DATABASE_FACT, BUILTIN_FACT]
+
+    def test_negation_step(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("orphan_like(tom)"))
+        assert proof is not None
+        assert proof.children[1].kind == NEGATION
+
+    def test_negation_blocks_proof(self):
+        kb, cms = build()
+        assert Explainer(kb, cms).explain(parse_atom("orphan_like(ann)")) is None
+
+
+class TestRendering:
+    def test_render_indents_and_labels(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("ancestor(tom, ann)"))
+        text = proof.render()
+        assert "[R2]" in text
+        assert "[database]" in text
+        assert "\n  " in text  # indentation
+
+    def test_str_is_render(self):
+        kb, cms = build()
+        proof = Explainer(kb, cms).explain(parse_atom("parent(tom, bob)"))
+        assert str(proof) == proof.render()
+
+
+class TestEngineIntegration:
+    def test_explain_specific_solution(self):
+        kb, cms = build()
+        engine = InferenceEngine(kb, cms)
+        solutions = engine.ask_all("ancestor(tom, W)")
+        target = next(s for s in solutions if s["W"] == "ann")
+        proof = engine.explain("ancestor(tom, W)", target)
+        assert str(proof.goal) == "ancestor(tom, ann)"
+        assert proof.rules_used() == ["R2", "R1"]
+
+    def test_explain_without_solution_proves_first(self):
+        kb, cms = build()
+        engine = InferenceEngine(kb, cms)
+        proof = engine.explain("ancestor(tom, W)")
+        assert proof is not None
+        assert proof.kind == RULE
+
+    def test_explain_unprovable(self):
+        kb, cms = build()
+        engine = InferenceEngine(kb, cms)
+        assert engine.explain("ancestor(ann, tom)") is None
+
+    def test_explanations_hit_the_cache(self):
+        kb, cms = build()
+        engine = InferenceEngine(kb, cms)
+        solutions = engine.ask_all("ancestor(tom, W)")
+        requests = cms.metrics.get("remote.requests")
+        engine.explain("ancestor(tom, W)", solutions[0])
+        # Justification re-checks facts the inference already fetched.
+        assert cms.metrics.get("remote.requests") <= requests + 2
+
+    def test_explain_through_braid_facade(self):
+        from repro.braid import BraidSystem
+        from repro.workloads.genealogy import genealogy
+
+        system = BraidSystem.from_workload(genealogy(generations=3, branching=2, roots=1))
+        (solution, *_rest) = system.ask_all("grandparent(p0, W)")
+        proof = system.explain("grandparent(p0, W)", solution)
+        assert proof is not None
+        assert len(proof.facts_used()) == 2

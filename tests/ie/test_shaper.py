@@ -1,0 +1,126 @@
+"""Tests for the problem graph shaper."""
+
+import pytest
+
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atom
+from repro.logic.soa import FunctionalDependency, MutualExclusion
+from repro.logic.terms import Atom, Const, Var
+from repro.relational.statistics import RelationStatistics
+from repro.ie.extractor import extract_problem_graph
+from repro.ie.shaper import shape
+
+
+def make_kb(rules, database=(("b1", 2), ("b2", 2), ("big", 2), ("small", 2))):
+    kb = KnowledgeBase()
+    for pred, arity in database:
+        kb.declare_database(pred, arity)
+    kb.add_rules(rules)
+    return kb
+
+
+class TestBuiltinFolding:
+    def test_true_ground_builtin_removed(self):
+        kb = make_kb("p(X) :- b1(X, Y), 1 < 2.")
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        (rule,) = graph.alternatives
+        assert [c.goal.pred for c in rule.body] == ["b1"]
+
+    def test_false_ground_builtin_culls_rule(self):
+        kb = make_kb("p(X) :- b1(X, Y), 2 < 1.")
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        assert graph.alternatives == []
+
+    def test_equality_binding_propagates(self):
+        kb = make_kb("p(X) :- X = 5, b1(X, Y).")
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        (rule,) = graph.alternatives
+        b1 = next(c for c in rule.body if c.goal.pred == "b1")
+        assert b1.goal.args[0] == Const(5)
+
+    def test_query_constant_triggers_folding(self):
+        kb = make_kb("p(X) :- b1(X, Y), X < 3.")
+        graph = shape(extract_problem_graph(kb, parse_atom("p(1)")), kb)
+        (rule,) = graph.alternatives
+        assert [c.goal.pred for c in rule.body] == ["b1"]
+        graph2 = shape(extract_problem_graph(kb, parse_atom("p(9)")), kb)
+        assert graph2.alternatives == []
+
+
+class TestMutualExclusionCulling:
+    def test_exclusive_pair_culls_rule(self):
+        kb = make_kb("p(X) :- male(X), female(X).", database=(("male", 1), ("female", 1)))
+        kb.add_soa(MutualExclusion((Atom("male", (Var("A"),)), Atom("female", (Var("A"),)))))
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        assert graph.alternatives == []
+
+    def test_non_exclusive_rule_survives(self):
+        kb = make_kb("p(X) :- male(X), tall(X).", database=(("male", 1), ("tall", 1), ("female", 1)))
+        kb.add_soa(MutualExclusion((Atom("male", (Var("A"),)), Atom("female", (Var("A"),)))))
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        assert len(graph.alternatives) == 1
+
+
+class TestOrdering:
+    def stats(self, pred):
+        table = {"big": 10_000, "small": 10}
+        stats = RelationStatistics(cardinality=table.get(pred, 100))
+        return stats
+
+    def test_smaller_relation_first(self):
+        kb = make_kb("p(X, Y) :- big(X, Z), small(Z, Y).")
+        graph = shape(
+            extract_problem_graph(kb, parse_atom("p(X, Y)")), kb, stats_of=self.stats
+        )
+        (rule,) = graph.alternatives
+        assert [c.goal.pred for c in rule.body] == ["small", "big"]
+
+    def test_bound_arguments_reduce_cost(self):
+        # big has a constant argument: selectivity discounts beat small.
+        kb = make_kb("p(Y) :- big(c, Z), small(Z, Y).")
+        graph = shape(
+            extract_problem_graph(kb, parse_atom("p(Y)")), kb, stats_of=self.stats
+        )
+        (rule,) = graph.alternatives
+        # big: 10000 * 0.1 = 1000 vs small: 10 -> small still first.
+        assert rule.body[0].goal.pred == "small"
+
+    def test_fd_key_lookup_first(self):
+        kb = make_kb("p(Y) :- big(c, Y), small(Y, Z).")
+        kb.add_soa(FunctionalDependency("big", 2, (0,), (1,)))
+        graph = shape(
+            extract_problem_graph(kb, parse_atom("p(Y)")), kb, stats_of=self.stats
+        )
+        (rule,) = graph.alternatives
+        assert rule.body[0].goal.pred == "big"  # key bound: one row
+
+    def test_builtin_waits_for_bindings(self):
+        kb = make_kb("p(X, Y) :- X < Y, b1(X, Z), b2(Z, Y).")
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X, Y)")), kb)
+        (rule,) = graph.alternatives
+        preds = [c.goal.pred for c in rule.body]
+        assert preds.index("<") > preds.index("b1")
+        assert preds.index("<") > preds.index("b2")
+
+    def test_reorder_disabled(self):
+        kb = make_kb("p(X, Y) :- big(X, Z), small(Z, Y).")
+        graph = shape(
+            extract_problem_graph(kb, parse_atom("p(X, Y)")),
+            kb,
+            stats_of=self.stats,
+            reorder=False,
+        )
+        (rule,) = graph.alternatives
+        assert [c.goal.pred for c in rule.body] == ["big", "small"]
+
+    def test_nested_rules_shaped(self):
+        kb = make_kb(
+            """
+            p(X) :- q(X).
+            q(X) :- big(X, Y), 2 < 1.
+            """
+        )
+        graph = shape(extract_problem_graph(kb, parse_atom("p(X)")), kb)
+        (rule,) = graph.alternatives
+        inner = rule.body[0]
+        assert inner.alternatives == []  # culled inside the nested rule

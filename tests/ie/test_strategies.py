@@ -1,0 +1,169 @@
+"""Unit tests for the compiled strategy (unfolding + bottom-up paths)."""
+
+import pytest
+
+from repro.common.errors import InferenceError
+from repro.common.metrics import REMOTE_TUPLES
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atom
+from repro.logic.soa import RecursiveStructure
+from repro.relational.relation import relation_from_columns
+from repro.remote.server import RemoteDBMS
+from repro.core.cms import CacheManagementSystem
+from repro.ie.strategies import (
+    INTERPRETIVE_CONFIGS,
+    CompiledStrategy,
+    specifier_config_for,
+)
+
+
+def build(rules, tables, soas=()):
+    server = RemoteDBMS()
+    for table in tables:
+        server.load_table(table)
+    kb = KnowledgeBase()
+    for table in tables:
+        kb.declare_database(table.schema.name, table.schema.arity)
+    kb.add_rules(rules)
+    for soa in soas:
+        kb.add_soa(soa)
+    cms = CacheManagementSystem(server)
+    cms.begin_session()
+    return CompiledStrategy(kb, cms), cms
+
+
+EDGE = relation_from_columns("edge", a=[1, 1, 2, 3], b=[2, 3, 4, 4])
+LABEL = relation_from_columns("label", n=[1, 2, 3, 4], tag=["x", "y", "x", "y"])
+
+
+class TestUnfolding:
+    def test_two_level_unfold(self):
+        strategy, cms = build(
+            """
+            two_hop(X, Z) :- hop(X, Y), hop(Y, Z).
+            hop(X, Y) :- edge(X, Y).
+            """,
+            [EDGE],
+        )
+        result = strategy.solve(parse_atom("two_hop(1, W)"))
+        assert set(result.relation.rows) == {(4,)}
+
+    def test_disjunction_unions_branches(self):
+        strategy, _cms = build(
+            """
+            tagged(X) :- label(X, x).
+            tagged(X) :- label(X, y).
+            """,
+            [LABEL],
+        )
+        result = strategy.solve(parse_atom("tagged(W)"))
+        assert set(result.relation.rows) == {(1,), (2,), (3,), (4,)}
+
+    def test_constants_pushed_into_branches(self):
+        strategy, cms = build(
+            "xnode(N) :- label(N, x).",
+            [LABEL],
+        )
+        strategy.solve(parse_atom("xnode(W)"))
+        # Only the selected rows crossed the wire, not the whole relation.
+        assert cms.metrics.get(REMOTE_TUPLES) == 2
+
+    def test_local_facts_become_answers(self):
+        strategy, _cms = build(
+            """
+            known(99).
+            known(X) :- label(X, x).
+            """,
+            [LABEL],
+        )
+        result = strategy.solve(parse_atom("known(W)"))
+        assert (99,) in result.relation
+        assert (1,) in result.relation
+
+    def test_boolean_query_true(self):
+        strategy, _cms = build("linked(X, Y) :- edge(X, Y).", [EDGE])
+        result = strategy.solve(parse_atom("linked(1, 2)"))
+        assert result.relation.rows == [(True,)]
+
+    def test_boolean_query_false(self):
+        strategy, _cms = build("linked(X, Y) :- edge(X, Y).", [EDGE])
+        result = strategy.solve(parse_atom("linked(4, 1)"))
+        assert result.relation.rows == []
+
+    def test_repeated_variable_in_query(self):
+        strategy, _cms = build("pair(X, Y) :- edge(X, Y).", [EDGE])
+        loops = strategy.solve(parse_atom("pair(W, W)"))
+        assert loops.relation.rows == []  # no self-loops in EDGE
+
+    def test_builtins_ride_along(self):
+        strategy, _cms = build(
+            "big_edge(X, Y) :- edge(X, Y), Y >= 4.",
+            [EDGE],
+        )
+        result = strategy.solve(parse_atom("big_edge(W, Z)"))
+        assert set(result.relation.rows) == {(2, 4), (3, 4)}
+
+
+class TestBottomUpFallback:
+    def test_recursive_uses_bottom_up(self):
+        strategy, cms = build(
+            """
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+            """,
+            [EDGE],
+        )
+        result = strategy.solve(parse_atom("reach(1, W)"))
+        assert set(result.relation.rows) == {(2,), (3,), (4,)}
+
+    def test_closure_soa_fast_path(self):
+        strategy, _cms = build(
+            """
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+            """,
+            [EDGE],
+            soas=(RecursiveStructure("reach", "edge"),),
+        )
+        result = strategy.solve(parse_atom("reach(1, W)"))
+        assert set(result.relation.rows) == {(2,), (3,), (4,)}
+
+    def test_mixed_recursive_and_not(self):
+        strategy, _cms = build(
+            """
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+            reach_tag(X, T) :- reach(1, X), label(X, T).
+            """,
+            [EDGE, LABEL],
+        )
+        result = strategy.solve(parse_atom("reach_tag(W, T)"))
+        assert set(result.relation.rows) == {(2, "y"), (3, "x"), (4, "y")}
+
+    def test_negation_rejected(self):
+        strategy, _cms = build(
+            "lonely(X) :- label(X, T), \\+ edge(X, Y).",
+            [EDGE, LABEL],
+        )
+        with pytest.raises(InferenceError):
+            strategy.solve(parse_atom("lonely(W)"))
+
+    def test_negated_query_rejected(self):
+        strategy, _cms = build("p(X) :- edge(X, Y).", [EDGE])
+        from repro.logic.terms import Atom, Var
+
+        with pytest.raises(InferenceError):
+            strategy.solve(Atom("p", (Var("X"),), negated=True))
+
+
+class TestConfigs:
+    def test_interpretive_configs(self):
+        assert specifier_config_for("interpreted").max_conjuncts == 1
+        assert specifier_config_for("conjunction").max_conjuncts is None
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(InferenceError):
+            specifier_config_for("compiled")
+
+    def test_config_table_complete(self):
+        assert set(INTERPRETIVE_CONFIGS) == {"interpreted", "conjunction"}

@@ -1,0 +1,75 @@
+"""Property: advice changes costs, never answers.
+
+Section 3: advice is "not necessary for the CMS to function" — and by
+construction it must never change what a query returns, only how cheaply.
+The same holds for the inference strategies: every strategy and every
+advice setting must agree on the solution set.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.braid import BraidConfig, BraidSystem
+from repro.workloads.genealogy import genealogy
+
+WORKLOAD = genealogy(generations=4, branching=2, roots=2, seed=77)
+
+QUERY_TEMPLATES = [
+    "ancestor({p}, W)",
+    "grandparent({p}, W)",
+    "sibling({p}, S)",
+    "father(X, {p})",
+    "minor(X)",
+    "uncle(U, N)",
+    "parent_of_minor(X)",
+    "same_generation({p}, Y)",
+]
+PEOPLE = [f"p{i}" for i in range(0, 12)]
+
+queries = st.builds(
+    lambda template, person: template.format(p=person),
+    st.sampled_from(QUERY_TEMPLATES),
+    st.sampled_from(PEOPLE),
+)
+
+
+def solutions(system, query):
+    # Compare distinct answers: interpretive strategies may repeat a
+    # solution once per derivation (Prolog semantics), compiled may not.
+    return sorted({str(s) for s in system.ask_all(query)})
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(queries, min_size=1, max_size=3))
+def test_advice_never_changes_answers(sequence):
+    advised = BraidSystem.from_workload(WORKLOAD, BraidConfig(generate_advice=True))
+    unadvised = BraidSystem.from_workload(WORKLOAD, BraidConfig(generate_advice=False))
+    for query in sequence:
+        assert solutions(advised, query) == solutions(unadvised, query), query
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(queries)
+def test_strategies_agree(query):
+    reference = None
+    for strategy in ("interpreted", "conjunction", "compiled"):
+        system = BraidSystem.from_workload(WORKLOAD, BraidConfig(strategy=strategy))
+        got = solutions(system, query)
+        if reference is None:
+            reference = got
+        else:
+            assert got == reference, f"{query} under {strategy}"
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(queries, min_size=2, max_size=4))
+def test_session_order_never_changes_answers(sequence):
+    """Cache state built by earlier questions must not alter later answers."""
+    system = BraidSystem.from_workload(WORKLOAD)
+    fresh_answers = []
+    for query in sequence:
+        fresh = BraidSystem.from_workload(WORKLOAD)
+        fresh_answers.append(solutions(fresh, query))
+    for query, expected in zip(sequence, fresh_answers):
+        assert solutions(system, query) == expected, query

@@ -1,0 +1,136 @@
+"""The correctness oracle: every bridge, any cache state, same answers.
+
+The single most important invariant in the system: no matter which
+features are enabled and what the cache already contains, a CAQL query's
+answer must equal direct evaluation against the base data.  Hypothesis
+drives random query sequences through randomly configured bridges and
+compares every result against the oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.caql.eval import evaluate_conjunctive
+from repro.caql.parser import parse_query
+from repro.core.cms import CacheManagementSystem, CMSFeatures
+from repro.baselines.exact_cache import ExactMatchCache
+from repro.baselines.loose import LooseCoupling
+from repro.baselines.relation_cache import SingleRelationBuffer
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.remote.server import RemoteDBMS
+from repro.caql.eval import result_schema
+
+# A compact but structurally rich database.
+R_ROWS = [(x, y) for x in range(5) for y in range(5) if (x * 3 + y) % 4 != 0]
+S_ROWS = [(y, z, z % 3) for y in range(5) for z in range(4)]
+DB = {
+    "r": Relation(result_schema("r", 2), R_ROWS),
+    "s": Relation(result_schema("s", 3), S_ROWS),
+}
+
+
+def load_server() -> RemoteDBMS:
+    server = RemoteDBMS()
+    server.load_table(Relation(Schema("r", ("a", "b")), R_ROWS))
+    server.load_table(Relation(Schema("s", ("c", "d", "e")), S_ROWS))
+    return server
+
+
+# -- query pool --------------------------------------------------------------------
+# Parameterized templates spanning selections, joins, self-joins, ranges,
+# constant answers, and boolean queries.
+TEMPLATES = [
+    "q(X, Y) :- r(X, Y)",
+    "q(Y) :- r({c1}, Y)",
+    "q(X) :- r(X, {c1})",
+    "q(X, Y) :- r(X, Y), X < {c2}",
+    "q(X, Y) :- r(X, Y), Y >= {c1}",
+    "q(X, Z) :- r(X, Y), s(Y, Z, E)",
+    "q(X, Z) :- r(X, Y), s(Y, Z, {c3})",
+    "q(Y, E) :- r({c1}, Y), s(Y, Z, E)",
+    "q(X, Y2) :- r(X, Y), r(Y, Y2)",
+    "q(X) :- r(X, X)",
+    "q({c1}, Y) :- r({c1}, Y)",
+    "q(X, Y) :- r(X, Y), X \\= Y",
+    "q(D) :- s({c1}, D, E), D > {c3}",
+]
+
+constants = st.fixed_dictionaries(
+    {
+        "c1": st.integers(0, 4),
+        "c2": st.integers(1, 5),
+        "c3": st.integers(0, 2),
+    }
+)
+queries = st.builds(
+    lambda template, consts: parse_query(template.format(**consts)),
+    st.sampled_from(TEMPLATES),
+    constants,
+)
+query_sequences = st.lists(queries, min_size=1, max_size=6)
+
+feature_sets = st.builds(
+    CMSFeatures,
+    caching=st.booleans(),
+    subsumption=st.booleans(),
+    lazy=st.booleans(),
+    parallel=st.booleans(),
+)
+
+oracle_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def oracle(query):
+    return set(evaluate_conjunctive(query, DB.__getitem__).rows)
+
+
+@oracle_settings
+@given(query_sequences, feature_sets)
+def test_cms_matches_oracle(sequence, features):
+    cms = CacheManagementSystem(load_server(), features=features)
+    cms.begin_session()
+    for query in sequence:
+        got = set(cms.query(query).fetch_all())
+        assert got == oracle(query), f"{query} under {features}"
+
+
+@oracle_settings
+@given(query_sequences, st.integers(600, 4000))
+def test_cms_matches_oracle_under_cache_pressure(sequence, capacity):
+    cms = CacheManagementSystem(load_server(), capacity_bytes=capacity)
+    cms.begin_session()
+    for query in sequence:
+        got = set(cms.query(query).fetch_all())
+        assert got == oracle(query), f"{query} at capacity {capacity}"
+
+
+@oracle_settings
+@given(query_sequences)
+def test_baselines_match_oracle(sequence):
+    bridges = [
+        LooseCoupling(load_server()),
+        ExactMatchCache(load_server()),
+        SingleRelationBuffer(load_server()),
+    ]
+    for query in sequence:
+        expected = oracle(query)
+        for bridge in bridges:
+            got = set(bridge.query(query).fetch_all())
+            assert got == expected, f"{query} via {bridge.name}"
+
+
+@oracle_settings
+@given(query_sequences)
+def test_cache_state_never_leaks_wrong_rows(sequence):
+    """Interleave the same sequence twice: second pass (cache-heavy) must
+    equal the first (cache-cold) answer for answer stability."""
+    cms = CacheManagementSystem(load_server())
+    cms.begin_session()
+    first_pass = [set(cms.query(q).fetch_all()) for q in sequence]
+    second_pass = [set(cms.query(q).fetch_all()) for q in sequence]
+    assert first_pass == second_pass

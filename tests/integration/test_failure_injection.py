@@ -1,0 +1,115 @@
+"""Failure injection: errors must surface cleanly, never corrupt state."""
+
+import pytest
+
+from repro.common.errors import (
+    BraidError,
+    CacheCapacityError,
+    RemoteDBMSError,
+    UnknownRelationError,
+)
+from repro.caql.parser import parse_query
+from repro.core.cms import CacheManagementSystem
+from repro.relational.relation import relation_from_columns
+from repro.remote.server import RemoteDBMS
+from repro.remote.sql import FetchTableQuery
+
+
+def make_cms(**kwargs):
+    server = RemoteDBMS()
+    server.load_table(relation_from_columns("t", a=[1, 2, 3], b=[4, 5, 6]))
+    cms = CacheManagementSystem(server, **kwargs)
+    cms.begin_session()
+    return cms, server
+
+
+class TestUnknownRelations:
+    def test_query_on_missing_table(self):
+        cms, _server = make_cms()
+        with pytest.raises(UnknownRelationError):
+            cms.query(parse_query("q(X) :- ghost(X)")).fetch_all()
+
+    def test_error_is_a_braid_error(self):
+        cms, _server = make_cms()
+        with pytest.raises(BraidError):
+            cms.query(parse_query("q(X) :- ghost(X)")).fetch_all()
+
+    def test_cms_still_usable_after_error(self):
+        cms, _server = make_cms()
+        with pytest.raises(UnknownRelationError):
+            cms.query(parse_query("q(X) :- ghost(X)")).fetch_all()
+        result = cms.query(parse_query("q(A, B) :- t(A, B)")).fetch_all()
+        assert len(result) == 3
+
+    def test_arity_mismatch_surfaces(self):
+        cms, _server = make_cms()
+        with pytest.raises(BraidError):
+            cms.query(parse_query("q(X) :- t(X)")).fetch_all()
+
+
+class TestBrokenEngine:
+    class ExplodingEngine:
+        """An engine that fails on every request."""
+
+        def create_table(self, relation):
+            self.schema = relation.schema
+
+        def execute(self, request):
+            raise RemoteDBMSError("disk on fire")
+
+    def test_engine_failure_propagates(self):
+        server = RemoteDBMS(engine=self.ExplodingEngine())
+        server.load_table(relation_from_columns("t", a=[1]))
+        with pytest.raises(RemoteDBMSError):
+            server.execute(FetchTableQuery("t"))
+
+    def test_cms_propagates_engine_failure(self):
+        server = RemoteDBMS(engine=self.ExplodingEngine())
+        server.load_table(relation_from_columns("t", a=[1]))
+        cms = CacheManagementSystem(server)
+        cms.begin_session()
+        with pytest.raises(RemoteDBMSError):
+            cms.query(parse_query("q(A) :- t(A)")).fetch_all()
+
+
+class TestTinyCache:
+    def test_results_still_correct_when_nothing_fits(self):
+        # Capacity so small no element can be stored: every query refetches
+        # but answers stay correct.
+        cms, server = make_cms(capacity_bytes=8)
+        q = parse_query("q(A, B) :- t(A, B)")
+        first = cms.query(q).fetch_all()
+        second = cms.query(q).fetch_all()
+        assert first == second
+        assert len(cms.cache) == 0
+        assert server.metrics.get("remote.requests") >= 2
+
+    def test_store_raises_but_query_succeeds(self):
+        cms, _server = make_cms(capacity_bytes=8)
+        result = cms.query(parse_query("q(A, B) :- t(A, B)")).fetch_all()
+        assert len(result) == 3  # CacheCapacityError swallowed internally
+
+    def test_direct_store_raises(self):
+        from repro.caql.eval import psj_of, result_schema
+        from repro.relational.relation import Relation
+
+        cms, _server = make_cms(capacity_bytes=8)
+        psj = psj_of(parse_query("q(A, B) :- t(A, B)"))
+        big = Relation(result_schema("q", 2), [(i, i) for i in range(100)])
+        with pytest.raises(CacheCapacityError):
+            cms.cache.store(psj, big)
+
+
+class TestStreamMisuse:
+    def test_exhausted_stream_stays_exhausted(self):
+        cms, _server = make_cms()
+        stream = cms.query(parse_query("q(A) :- t(A, 4)"))
+        assert stream.next() == (1,)
+        assert stream.next() is None
+        assert stream.next() is None
+
+    def test_fetch_all_after_partial_next(self):
+        cms, _server = make_cms()
+        stream = cms.query(parse_query("q(A, B) :- t(A, B)"))
+        stream.next()
+        assert len(stream.fetch_all()) == 3  # fetch_all is complete, not a tail

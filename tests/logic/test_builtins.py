@@ -1,0 +1,110 @@
+"""Tests for evaluable built-in relations."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.logic.builtins import BuiltinRegistry
+from repro.logic.terms import Atom, Const, Substitution, Var
+
+X, Y = Var("X"), Var("Y")
+
+
+@pytest.fixture
+def registry():
+    return BuiltinRegistry()
+
+
+def solutions(registry, atom, subst=None):
+    return list(registry.evaluate(atom, subst or Substitution()))
+
+
+class TestComparisons:
+    def test_less_than_holds(self, registry):
+        assert len(solutions(registry, Atom("<", (Const(1), Const(2))))) == 1
+
+    def test_less_than_fails(self, registry):
+        assert solutions(registry, Atom("<", (Const(2), Const(1)))) == []
+
+    def test_le_ge(self, registry):
+        assert solutions(registry, Atom("=<", (Const(2), Const(2))))
+        assert solutions(registry, Atom(">=", (Const(2), Const(2))))
+
+    def test_uses_substitution_bindings(self, registry):
+        s = Substitution().bind(X, Const(5))
+        assert solutions(registry, Atom(">", (X, Const(3))), s)
+
+    def test_unbound_argument_raises(self, registry):
+        with pytest.raises(EvaluationError):
+            solutions(registry, Atom("<", (X, Const(1))))
+
+    def test_incomparable_types_raise(self, registry):
+        with pytest.raises(EvaluationError):
+            solutions(registry, Atom("<", (Const("a"), Const(1))))
+
+
+class TestEquality:
+    def test_equals_binds_left_var(self, registry):
+        (result,) = solutions(registry, Atom("=", (X, Const(7))))
+        assert result.resolve(X) == Const(7)
+
+    def test_equals_binds_right_var(self, registry):
+        (result,) = solutions(registry, Atom("=", (Const(7), X)))
+        assert result.resolve(X) == Const(7)
+
+    def test_equals_check_when_ground(self, registry):
+        assert solutions(registry, Atom("=", (Const(1), Const(1))))
+        assert solutions(registry, Atom("=", (Const(1), Const(2)))) == []
+
+    def test_not_equals(self, registry):
+        assert solutions(registry, Atom("\\=", (Const(1), Const(2))))
+        assert solutions(registry, Atom("\\=", (Const(1), Const(1)))) == []
+
+
+class TestArithmetic:
+    def test_plus_forward(self, registry):
+        (result,) = solutions(registry, Atom("plus", (Const(2), Const(3), X)))
+        assert result.resolve(X) == Const(5)
+
+    def test_plus_inverse_first(self, registry):
+        (result,) = solutions(registry, Atom("plus", (X, Const(3), Const(5))))
+        assert result.resolve(X) == Const(2)
+
+    def test_plus_inverse_second(self, registry):
+        (result,) = solutions(registry, Atom("plus", (Const(2), X, Const(5))))
+        assert result.resolve(X) == Const(3)
+
+    def test_plus_check_mode(self, registry):
+        assert solutions(registry, Atom("plus", (Const(2), Const(3), Const(5))))
+        assert solutions(registry, Atom("plus", (Const(2), Const(3), Const(6)))) == []
+
+    def test_plus_two_unbound_raises(self, registry):
+        with pytest.raises(EvaluationError):
+            solutions(registry, Atom("plus", (X, Y, Const(5))))
+
+    def test_times_inverse_division_by_zero(self, registry):
+        with pytest.raises(EvaluationError):
+            solutions(registry, Atom("times", (X, Const(0), Const(5))))
+
+    def test_abs(self, registry):
+        (result,) = solutions(registry, Atom("abs", (Const(-4), X)))
+        assert result.resolve(X) == Const(4)
+
+
+class TestRegistry:
+    def test_is_builtin(self, registry):
+        assert registry.is_builtin(Atom("<", (X, Y)))
+        assert not registry.is_builtin(Atom("parent", (X, Y)))
+
+    def test_arity_matters(self, registry):
+        assert not registry.is_builtin(Atom("<", (X,)))
+
+    def test_unknown_builtin_raises(self, registry):
+        with pytest.raises(EvaluationError):
+            solutions(registry, Atom("frobnicate", (X,)))
+
+    def test_custom_registration(self, registry):
+        def always(atom, subst):
+            yield subst
+
+        registry.register("true", 0, always)
+        assert solutions(registry, Atom("true", ()))

@@ -1,0 +1,156 @@
+"""Tests for unification and one-directional (subsumption) matching."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.terms import Atom, Const, Substitution, Var
+from repro.logic.unify import instance_of, match_one_way, unify, unify_terms, variant
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+a, b, c = Const("a"), Const("b"), Const("c")
+
+
+class TestUnifyTerms:
+    def test_identical_constants(self):
+        assert unify_terms(a, a, Substitution()) is not None
+
+    def test_clashing_constants(self):
+        assert unify_terms(a, b, Substitution()) is None
+
+    def test_var_binds_constant(self):
+        s = unify_terms(X, a, Substitution())
+        assert s.resolve(X) == a
+
+    def test_var_binds_var(self):
+        s = unify_terms(X, Y, Substitution())
+        assert s.resolve(X) == s.resolve(Y)
+
+    def test_respects_existing_bindings(self):
+        s0 = Substitution().bind(X, a)
+        assert unify_terms(X, b, s0) is None
+        assert unify_terms(X, a, s0) == s0
+
+
+class TestUnifyAtoms:
+    def test_different_predicates_fail(self):
+        assert unify(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_different_arities_fail(self):
+        assert unify(Atom("p", (X,)), Atom("p", (X, Y))) is None
+
+    def test_polarity_must_agree(self):
+        assert unify(Atom("p", (X,)), Atom("p", (X,), negated=True)) is None
+
+    def test_bindings_flow_both_ways(self):
+        s = unify(Atom("p", (X, b)), Atom("p", (a, Y)))
+        assert s.resolve(X) == a
+        assert s.resolve(Y) == b
+
+    def test_repeated_variable_constraint(self):
+        assert unify(Atom("p", (X, X)), Atom("p", (a, b))) is None
+        s = unify(Atom("p", (X, X)), Atom("p", (a, a)))
+        assert s.resolve(X) == a
+
+    def test_unifier_makes_atoms_equal(self):
+        left = Atom("p", (X, b, Z))
+        right = Atom("p", (a, Y, Y))
+        s = unify(left, right)
+        assert s.apply(left) == s.apply(right)
+
+
+class TestMatchOneWay:
+    """The CMS subsumption-check matching rule of Section 5.3.2."""
+
+    def test_general_var_matches_query_constant(self):
+        # E = b21(X, Y) subsumes Q = b21(X, 2): Y may take the value 2.
+        s = match_one_way(Atom("b21", (X, Y)), Atom("b21", (X, Const(2))))
+        assert s is not None
+        assert s.resolve(Y) == Const(2)
+
+    def test_query_variable_cannot_match_element_constant(self):
+        # E = b21(3, Y) does not subsume Q = b21(X, 2): X ranges wider than 3.
+        assert match_one_way(Atom("b21", (Const(3), Y)), Atom("b21", (X, Const(2)))) is None
+
+    def test_identical_constants_match(self):
+        # E = b21(X, 2) subsumes Q = b21(X, 2) (paper's E3 example).
+        s = match_one_way(Atom("b21", (X, Const(2))), Atom("b21", (Y, Const(2))))
+        assert s is not None
+
+    def test_general_var_matches_query_variable(self):
+        s = match_one_way(Atom("p", (X,)), Atom("p", (Y,)))
+        assert s.resolve(X) == Y
+
+    def test_repeated_general_var_must_match_consistently(self):
+        assert match_one_way(Atom("p", (X, X)), Atom("p", (a, b))) is None
+        assert match_one_way(Atom("p", (X, X)), Atom("p", (a, a))) is not None
+
+    def test_predicate_and_arity_must_agree(self):
+        assert match_one_way(Atom("p", (X,)), Atom("q", (a,))) is None
+        assert match_one_way(Atom("p", (X,)), Atom("p", (a, b))) is None
+
+
+class TestInstanceAndVariant:
+    def test_instance_of(self):
+        assert instance_of(Atom("p", (a, b)), Atom("p", (X, Y)))
+        assert not instance_of(Atom("p", (X, b)), Atom("p", (a, Y)))
+
+    def test_every_atom_instance_of_itself(self):
+        atom = Atom("p", (X, a))
+        assert instance_of(atom, atom)
+
+    def test_variant_true_for_renaming(self):
+        assert variant(Atom("p", (X, Y)), Atom("p", (Z, X)))
+
+    def test_variant_false_for_collapsing(self):
+        assert not variant(Atom("p", (X, Y)), Atom("p", (Z, Z)))
+
+    def test_variant_false_for_specialization(self):
+        assert not variant(Atom("p", (X,)), Atom("p", (a,)))
+
+
+# -- property-based tests -------------------------------------------------------
+
+var_names = st.sampled_from(["X", "Y", "Z", "W"])
+const_values = st.integers(0, 3)
+terms = st.one_of(var_names.map(Var), const_values.map(Const))
+atoms = st.builds(
+    Atom,
+    pred=st.sampled_from(["p", "q"]),
+    args=st.lists(terms, min_size=1, max_size=3).map(tuple),
+)
+ground_atoms = st.builds(
+    Atom,
+    pred=st.sampled_from(["p", "q"]),
+    args=st.lists(const_values.map(Const), min_size=1, max_size=3).map(tuple),
+)
+
+
+@given(atoms, atoms)
+def test_unify_symmetric_success(left, right):
+    assert (unify(left, right) is None) == (unify(right, left) is None)
+
+
+@given(atoms, atoms)
+def test_unifier_is_a_solution(left, right):
+    s = unify(left, right)
+    if s is not None:
+        assert s.apply(left) == s.apply(right)
+
+
+@given(atoms)
+def test_unify_reflexive(atom):
+    assert unify(atom, atom) is not None
+
+
+@given(atoms, ground_atoms)
+def test_match_one_way_sound(general, ground):
+    """If match succeeds, applying the match maps general onto the query."""
+    s = match_one_way(general, ground)
+    if s is not None:
+        assert s.apply(general) == ground
+
+
+@given(atoms, ground_atoms)
+def test_match_implies_unify(general, ground):
+    if match_one_way(general, ground) is not None:
+        assert unify(general, ground) is not None

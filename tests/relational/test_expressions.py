@@ -1,0 +1,103 @@
+"""Tests for row expressions and conditions."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.expressions import (
+    Col,
+    Comparison,
+    Lit,
+    col_eq,
+    compile_conjunction,
+    eq,
+)
+from repro.relational.schema import Schema
+
+SCHEMA = Schema("emp", ("id", "age", "dept"))
+
+
+class TestComparison:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            Comparison(Col("a"), "~", Lit(1))
+
+    def test_compile_col_const(self):
+        predicate = eq("dept", "sw").compile(SCHEMA)
+        assert predicate((1, 30, "sw"))
+        assert not predicate((1, 30, "hw"))
+
+    def test_compile_col_col(self):
+        predicate = col_eq("id", "age").compile(SCHEMA)
+        assert predicate((5, 5, "sw"))
+        assert not predicate((5, 6, "sw"))
+
+    def test_compile_range(self):
+        predicate = Comparison(Col("age"), ">=", Lit(18)).compile(SCHEMA)
+        assert predicate((1, 18, "sw"))
+        assert not predicate((1, 17, "sw"))
+
+    def test_incomparable_types_false(self):
+        predicate = Comparison(Col("age"), "<", Lit(18)).compile(SCHEMA)
+        assert not predicate((1, "unknown", "sw"))
+
+    def test_unknown_column_raises_at_compile(self):
+        with pytest.raises(SchemaError):
+            eq("salary", 1).compile(SCHEMA)
+
+
+class TestNormalization:
+    def test_const_moves_right(self):
+        norm = Comparison(Lit(5), "<", Col("age")).normalized()
+        assert norm == Comparison(Col("age"), ">", Lit(5))
+
+    def test_col_col_ordered_by_name(self):
+        norm = Comparison(Col("b"), "<", Col("a")).normalized()
+        assert norm == Comparison(Col("a"), ">", Col("b"))
+
+    def test_already_normalized_unchanged(self):
+        condition = Comparison(Col("age"), "<=", Lit(9))
+        assert condition.normalized() == condition
+
+    def test_equality_flip_preserved(self):
+        norm = Comparison(Lit(5), "=", Col("age")).normalized()
+        assert norm == Comparison(Col("age"), "=", Lit(5))
+
+    def test_is_col_const(self):
+        assert Comparison(Lit(5), "<", Col("age")).is_col_const()
+        assert not col_eq("a", "b").is_col_const()
+
+    def test_negated(self):
+        assert eq("a", 1).negated().op == "!="
+        assert Comparison(Col("a"), "<", Lit(1)).negated().op == ">="
+
+
+class TestHelpers:
+    def test_columns(self):
+        assert col_eq("a", "b").columns() == {"a", "b"}
+        assert eq("a", 1).columns() == {"a"}
+
+    def test_rename_columns(self):
+        renamed = col_eq("a", "b").rename_columns({"a": "x"})
+        assert renamed == col_eq("x", "b")
+
+    def test_rename_ignores_literals(self):
+        renamed = eq("a", 1).rename_columns({"a": "x"})
+        assert renamed == eq("x", 1)
+
+
+class TestConjunction:
+    def test_empty_conjunction_is_true(self):
+        predicate = compile_conjunction([], SCHEMA)
+        assert predicate((1, 2, "any"))
+
+    def test_all_must_hold(self):
+        predicate = compile_conjunction(
+            [eq("dept", "sw"), Comparison(Col("age"), ">", Lit(25))], SCHEMA
+        )
+        assert predicate((1, 30, "sw"))
+        assert not predicate((1, 20, "sw"))
+        assert not predicate((1, 30, "hw"))
+
+    def test_single_condition_fast_path(self):
+        predicate = compile_conjunction([eq("id", 1)], SCHEMA)
+        assert predicate((1, 0, ""))

@@ -1,0 +1,91 @@
+"""Tests for hash indexes."""
+
+from repro.relational.index import HashIndex, IndexSet
+from repro.relational.relation import relation_from_columns
+
+
+def make_emp():
+    return relation_from_columns(
+        "emp",
+        id=[1, 2, 3, 4],
+        name=["ann", "bob", "cat", "dan"],
+        dept=["hw", "sw", "sw", "hw"],
+    )
+
+
+class TestHashIndex:
+    def test_lookup_single_attribute(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert len(index.lookup(("sw",))) == 2
+
+    def test_lookup_scalar_convenience(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert len(index.lookup("sw")) == 2
+
+    def test_lookup_missing_key(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert index.lookup(("xx",)) == []
+
+    def test_composite_key(self):
+        index = HashIndex(make_emp(), ("dept", "name"))
+        assert index.lookup(("sw", "bob")) == [(2, "bob", "sw")]
+
+    def test_contains(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert ("sw",) in index
+        assert ("xx",) not in index
+
+    def test_probe_count(self):
+        index = HashIndex(make_emp(), ("dept",))
+        index.lookup(("sw",))
+        index.lookup(("hw",))
+        assert index.probe_count == 2
+
+    def test_key_count(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert index.key_count == 2
+
+    def test_build_size(self):
+        index = HashIndex(make_emp(), ("id",))
+        assert index.build_size == 4
+
+    def test_lookup_iter(self):
+        index = HashIndex(make_emp(), ("dept",))
+        assert len(list(index.lookup_iter(("hw",)))) == 2
+
+
+class TestIndexSet:
+    def test_ensure_builds_once(self):
+        indexes = IndexSet(make_emp())
+        first = indexes.ensure(("dept",))
+        second = indexes.ensure(("dept",))
+        assert first is second
+        assert len(indexes) == 1
+
+    def test_get_absent(self):
+        indexes = IndexSet(make_emp())
+        assert indexes.get(("dept",)) is None
+
+    def test_find_covering_subset(self):
+        indexes = IndexSet(make_emp())
+        indexes.ensure(("dept",))
+        found = indexes.find_covering({"dept", "name"})
+        assert found is not None
+        assert found.attributes == ("dept",)
+
+    def test_find_covering_prefers_widest(self):
+        indexes = IndexSet(make_emp())
+        indexes.ensure(("dept",))
+        indexes.ensure(("dept", "name"))
+        found = indexes.find_covering({"dept", "name"})
+        assert found.attributes == ("dept", "name")
+
+    def test_find_covering_none(self):
+        indexes = IndexSet(make_emp())
+        indexes.ensure(("dept",))
+        assert indexes.find_covering({"name"}) is None
+
+    def test_attribute_sets(self):
+        indexes = IndexSet(make_emp())
+        indexes.ensure(("id",))
+        assert indexes.attribute_sets == [("id",)]

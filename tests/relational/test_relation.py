@@ -1,0 +1,125 @@
+"""Tests for relation extensions."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.relation import Relation, relation_from_columns
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def emp():
+    return relation_from_columns(
+        "emp",
+        id=[1, 2, 3],
+        name=["ann", "bob", "cat"],
+        dept=["hw", "sw", "sw"],
+    )
+
+
+class TestInsert:
+    def test_insert_new(self):
+        r = Relation(Schema("p", ("a",)))
+        assert r.insert((1,))
+        assert len(r) == 1
+
+    def test_insert_duplicate_ignored(self):
+        r = Relation(Schema("p", ("a",)))
+        r.insert((1,))
+        assert not r.insert((1,))
+        assert len(r) == 1
+
+    def test_arity_checked(self):
+        r = Relation(Schema("p", ("a",)))
+        with pytest.raises(SchemaError):
+            r.insert((1, 2))
+
+    def test_insert_all_counts_new(self):
+        r = Relation(Schema("p", ("a",)))
+        assert r.insert_all([(1,), (2,), (1,)]) == 2
+
+    def test_list_rows_coerced(self):
+        r = Relation(Schema("p", ("a", "b")))
+        r.insert([1, 2])
+        assert (1, 2) in r
+
+    def test_order_stable(self):
+        r = Relation(Schema("p", ("a",)), [(3,), (1,), (2,)])
+        assert r.rows == [(3,), (1,), (2,)]
+
+
+class TestAccess:
+    def test_contains(self, emp):
+        assert (1, "ann", "hw") in emp
+        assert (9, "zed", "hw") not in emp
+
+    def test_column(self, emp):
+        assert emp.column("name") == ["ann", "bob", "cat"]
+
+    def test_distinct_values(self, emp):
+        assert emp.distinct_values("dept") == {"hw", "sw"}
+
+    def test_sorted_by(self, emp):
+        ordered = emp.sorted_by(["name"], reverse=True)
+        assert ordered.column("name") == ["cat", "bob", "ann"]
+
+    def test_sorted_does_not_mutate(self, emp):
+        emp.sorted_by(["name"], reverse=True)
+        assert emp.column("id") == [1, 2, 3]
+
+
+class TestEquality:
+    def test_set_semantics(self):
+        r1 = Relation(Schema("p", ("a",)), [(1,), (2,)])
+        r2 = Relation(Schema("q", ("a",)), [(2,), (1,)])
+        assert r1 == r2  # names differ, attributes and rows agree
+
+    def test_different_rows_unequal(self):
+        r1 = Relation(Schema("p", ("a",)), [(1,)])
+        r2 = Relation(Schema("p", ("a",)), [(2,)])
+        assert r1 != r2
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation(Schema("p", ("a",))))
+
+
+class TestDerivation:
+    def test_renamed_shares_rows(self, emp):
+        staff = emp.renamed("staff")
+        emp.insert((4, "dan", "hw"))
+        assert len(staff) == 4
+
+    def test_copy_is_independent(self, emp):
+        dup = emp.copy()
+        emp.insert((4, "dan", "hw"))
+        assert len(dup) == 3
+
+    def test_estimated_bytes_monotonic(self):
+        small = Relation(Schema("p", ("a",)), [(1,)])
+        big = Relation(Schema("p", ("a",)), [(i,) for i in range(100)])
+        assert big.estimated_bytes() > small.estimated_bytes()
+
+    def test_estimated_bytes_counts_strings(self):
+        short = Relation(Schema("p", ("a",)), [("x",)])
+        long = Relation(Schema("p", ("a",)), [("x" * 100,)])
+        assert long.estimated_bytes() > short.estimated_bytes()
+
+
+class TestHelpers:
+    def test_from_columns_mismatched_lengths(self):
+        with pytest.raises(SchemaError):
+            relation_from_columns("p", a=[1], b=[1, 2])
+
+    def test_from_columns_empty(self):
+        with pytest.raises(SchemaError):
+            relation_from_columns("p")
+
+    def test_pretty_contains_data(self, emp):
+        text = emp.pretty()
+        assert "ann" in text
+        assert "name" in text
+
+    def test_pretty_truncates(self):
+        r = Relation(Schema("p", ("a",)), [(i,) for i in range(50)])
+        assert "more rows" in r.pretty(limit=5)

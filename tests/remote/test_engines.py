@@ -1,0 +1,204 @@
+"""Tests for both remote engines — shared behaviour via parametrization."""
+
+import pytest
+
+from repro.common.errors import UnknownRelationError
+from repro.relational.relation import relation_from_columns
+from repro.remote.engine import PurePythonEngine
+from repro.remote.sql import (
+    FetchTableQuery,
+    SelectQuery,
+    SqlCol,
+    SqlCondition,
+    SqlLit,
+    TableRef,
+)
+from repro.remote.sqlite_backend import SqliteEngine
+
+
+def load_sample(engine):
+    engine.create_table(
+        relation_from_columns(
+            "emp",
+            id=[1, 2, 3, 4],
+            name=["ann", "bob", "cat", "dan"],
+            dept=["hw", "sw", "sw", "hw"],
+        )
+    )
+    engine.create_table(
+        relation_from_columns("dept", code=["hw", "sw"], site=["nj", "ca"])
+    )
+    return engine
+
+
+@pytest.fixture(params=["pure", "sqlite"])
+def engine(request):
+    if request.param == "pure":
+        yield load_sample(PurePythonEngine())
+        return
+    backend = load_sample(SqliteEngine())
+    yield backend
+    backend.close()
+
+
+class TestFetchTable:
+    def test_whole_table(self, engine):
+        result = engine.execute(FetchTableQuery("emp"))
+        assert len(result.relation) == 4
+        assert result.tuples_touched == 4
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(UnknownRelationError):
+            engine.execute(FetchTableQuery("nope"))
+
+
+class TestSelection:
+    def test_equality_selection(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"), SqlCol("e", "name")),
+            where=(SqlCondition(SqlCol("e", "dept"), "=", SqlLit("sw")),),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {(2, "bob"), (3, "cat")}
+
+    def test_range_selection(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"),),
+            where=(SqlCondition(SqlCol("e", "id"), ">=", SqlLit(3)),),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {(3,), (4,)}
+
+    def test_not_equal(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"),),
+            where=(SqlCondition(SqlCol("e", "dept"), "!=", SqlLit("sw")),),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {(1,), (4,)}
+
+    def test_empty_result(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"),),
+            where=(SqlCondition(SqlCol("e", "dept"), "=", SqlLit("zz")),),
+        )
+        assert len(engine.execute(query).relation) == 0
+
+    def test_projection_dedups(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "dept"),),
+        )
+        result = engine.execute(query).relation
+        assert len(result) == 2
+
+
+class TestJoin:
+    def test_two_table_join(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+            select=(SqlCol("e", "name"), SqlCol("d", "site")),
+            where=(SqlCondition(SqlCol("e", "dept"), "=", SqlCol("d", "code")),),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {
+            ("ann", "nj"),
+            ("bob", "ca"),
+            ("cat", "ca"),
+            ("dan", "nj"),
+        }
+
+    def test_join_with_selection(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+            select=(SqlCol("e", "name"),),
+            where=(
+                SqlCondition(SqlCol("e", "dept"), "=", SqlCol("d", "code")),
+                SqlCondition(SqlCol("d", "site"), "=", SqlLit("ca")),
+            ),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {("bob",), ("cat",)}
+
+    def test_self_join(self, engine):
+        # Colleagues: pairs in the same department.
+        query = SelectQuery(
+            tables=(TableRef("emp", "e1"), TableRef("emp", "e2")),
+            select=(SqlCol("e1", "name"), SqlCol("e2", "name")),
+            where=(
+                SqlCondition(SqlCol("e1", "dept"), "=", SqlCol("e2", "dept")),
+                SqlCondition(SqlCol("e1", "id"), "<", SqlCol("e2", "id")),
+            ),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {("ann", "dan"), ("bob", "cat")}
+
+    def test_cross_product(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+            select=(SqlCol("e", "id"), SqlCol("d", "code")),
+        )
+        assert len(engine.execute(query).relation) == 8
+
+    def test_unknown_table_in_join(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("ghost", "g")),
+            select=(SqlCol("e", "id"),),
+        )
+        with pytest.raises(UnknownRelationError):
+            engine.execute(query)
+
+
+class TestServerWork:
+    def test_touched_counts_scans(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"),),
+        )
+        result = engine.execute(query)
+        assert result.tuples_touched >= 4
+
+    def test_join_touches_more_than_select(self, engine):
+        single = SelectQuery(
+            tables=(TableRef("emp", "e"),), select=(SqlCol("e", "id"),)
+        )
+        double = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+            select=(SqlCol("e", "id"),),
+            where=(SqlCondition(SqlCol("e", "dept"), "=", SqlCol("d", "code")),),
+        )
+        assert engine.execute(double).tuples_touched > engine.execute(single).tuples_touched
+
+
+class TestEngineParity:
+    """Both engines must return identical result sets."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            SelectQuery(
+                tables=(TableRef("emp", "e"),),
+                select=(SqlCol("e", "name"),),
+                where=(SqlCondition(SqlCol("e", "id"), ">", SqlLit(1)),),
+            ),
+            SelectQuery(
+                tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+                select=(SqlCol("e", "name"), SqlCol("d", "site")),
+                where=(SqlCondition(SqlCol("e", "dept"), "=", SqlCol("d", "code")),),
+            ),
+        ],
+        ids=["selection", "join"],
+    )
+    def test_same_results(self, query):
+        pure = load_sample(PurePythonEngine())
+        lite = load_sample(SqliteEngine())
+        try:
+            assert set(pure.execute(query).relation.rows) == set(
+                lite.execute(query).relation.rows
+            )
+        finally:
+            lite.close()
