@@ -78,6 +78,31 @@ class RemoteDBMSError(BraidError):
     """The remote DBMS rejected or failed a request."""
 
 
+class TransientRemoteError(RemoteDBMSError):
+    """A remote request failed in a way that may succeed if retried.
+
+    Raised for injected link failures and mid-stream disconnects; the
+    resilient RDI retries these with exponential backoff.
+    """
+
+
+class RemoteTimeoutError(RemoteDBMSError):
+    """A remote request exceeded the client's per-request timeout budget.
+
+    Timeouts are measured in simulated seconds of remote-side work, so they
+    are deterministic under a fixed fault seed.  Treated as retryable.
+    """
+
+
+class CircuitOpenError(RemoteDBMSError):
+    """The circuit breaker is open: remote requests are refused locally.
+
+    Raised without touching the network, so a failing server is not
+    hammered while it recovers; the CMS answers from the cache (degraded)
+    when it can.
+    """
+
+
 class TranslationError(BraidError):
     """A CAQL query could not be translated to the remote DBMS's DML."""
 

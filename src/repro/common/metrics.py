@@ -84,6 +84,11 @@ class Metrics:
 REMOTE_REQUESTS = "remote.requests"
 REMOTE_TUPLES = "remote.tuples_shipped"
 REMOTE_SERVER_TUPLES = "remote.server_tuples_touched"
+REMOTE_RETRIES = "remote.retries"
+REMOTE_TIMEOUTS = "remote.timeouts"
+REMOTE_FAULTS_INJECTED = "remote.faults_injected"
+REMOTE_DEGRADED_ANSWERS = "remote.degraded_answers"
+REMOTE_BREAKER_STATE_CHANGES = "remote.breaker_state_changes"
 CACHE_HITS_EXACT = "cache.hits.exact"
 CACHE_HITS_SUBSUMED = "cache.hits.subsumed"
 CACHE_MISSES = "cache.misses"

@@ -17,6 +17,7 @@ CMS decides whether one stored instance can serve them all.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -257,3 +258,53 @@ class Cache:
         self._elements.clear()
         self._by_predicate.clear()
         self._by_key.clear()
+
+
+class StaleArchive:
+    """Possibly-outdated copies of remote answers, kept for degraded service.
+
+    When the remote DBMS is unreachable and retries are exhausted, the CMS
+    would rather answer from an older copy than not at all (the paper's
+    bias toward answering from cache whenever possible).  The archive keeps
+    the last ``max_elements`` remote-derived results *outside* the cache's
+    byte budget — they survive eviction and tiny-cache configurations —
+    and answers are tagged degraded because their freshness is unknown.
+
+    Count-bounded FIFO: archived copies are cheap insurance, not a second
+    cache; no replacement advice applies to them.
+    """
+
+    def __init__(self, max_elements: int = 64):
+        if max_elements <= 0:
+            raise CacheError("archive capacity must be positive")
+        self.max_elements = max_elements
+        # An unbounded-bytes Cache reuses key canonicalization and the
+        # predicate index, so subsumption search works on stale copies too.
+        self.cache = Cache(capacity_bytes=1 << 40)
+        self._order: deque[str] = deque()
+
+    def store(self, definition: PSJQuery, relation: Relation) -> None:
+        """Record (or refresh) the archived copy of one remote answer."""
+        before = len(self.cache)
+        element = self.cache.store(definition, relation)
+        if len(self.cache) > before:
+            self._order.append(element.element_id)
+            while len(self.cache) > self.max_elements:
+                self.cache.discard(self._order.popleft())
+        else:
+            # Same definition seen again: keep the freshest copy.
+            element.relation = relation
+            element._indexes = None
+            element._sorted_views = None
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def find_full(self, query: PSJQuery):
+        """A full subsumption match from the archive, or None."""
+        from repro.core.subsumption import find_relevant
+
+        for match in find_relevant(self.cache, query):
+            if match.is_full:
+                return match
+        return None

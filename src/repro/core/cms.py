@@ -29,6 +29,7 @@ from repro.common.errors import (
     AdviceError,
     CacheCapacityError,
     PlanningError,
+    RemoteDBMSError,
     TranslationError,
 )
 from repro.common.metrics import (
@@ -39,6 +40,7 @@ from repro.common.metrics import (
     CACHE_MISSES,
     CACHE_PREFETCHES,
     IE_CAQL_QUERIES,
+    REMOTE_DEGRADED_ANSWERS,
     Metrics,
 )
 from repro.logic.builtins import BuiltinRegistry
@@ -47,6 +49,7 @@ from repro.relational.generator import GeneratorRelation
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.statistics import RelationStatistics
+from repro.remote.faults import RetryPolicy
 from repro.remote.server import RemoteDBMS
 from repro.advice.language import AdviceSet
 from repro.caql.ast import (
@@ -65,7 +68,7 @@ from repro.caql.eval import (
 )
 from repro.caql.psj import PSJQuery, psj_from_literals
 from repro.core.advice_manager import AdviceManager
-from repro.core.cache import Cache, lru_scorer
+from repro.core.cache import Cache, StaleArchive, lru_scorer
 from repro.core.cache_model import cache_model, cache_statistics
 from repro.core.executor import ExecutionMonitor, ResultStream
 from repro.core.planner import PlannerFeatures, QueryPlanner
@@ -80,6 +83,14 @@ class CMSFeatures(PlannerFeatures):
 
     advice_replacement: bool = True
     buffer_size: int = 64
+    #: Client-side resilience for the remote link (retries, backoff,
+    #: timeout, circuit breaker).  The default policy is inert on a
+    #: healthy link.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Serve stale/partial cache answers when retries are exhausted.
+    degradation: bool = True
+    #: How many remote answers the stale archive retains for degradation.
+    archive_elements: int = 64
 
     @classmethod
     def none(cls) -> "CMSFeatures":
@@ -93,6 +104,8 @@ class CMSFeatures(PlannerFeatures):
             indexing=False,
             parallel=False,
             advice_replacement=False,
+            retry_policy=RetryPolicy.none(),
+            degradation=False,
         )
 
 
@@ -115,13 +128,22 @@ class CacheManagementSystem:
 
         self.cache = Cache(capacity_bytes)
         self.advice_manager = AdviceManager()
-        self.rdi = RemoteInterface(remote, self.features.buffer_size)
+        self.rdi = RemoteInterface(
+            remote, self.features.buffer_size, self.features.retry_policy
+        )
+        self._archive = (
+            StaleArchive(self.features.archive_elements)
+            if self.features.degradation
+            else None
+        )
+        self._last_degraded = False
         self.planner = QueryPlanner(
             self.cache,
             self.advice_manager,
             self.rdi.statistics_of,
             self.profile,
             self.features,
+            remote_available=self.rdi.remote_available,
         )
         self.monitor = ExecutionMonitor(
             self.cache,
@@ -178,17 +200,28 @@ class CacheManagementSystem:
     def query(self, q: CAQLQuery) -> ResultStream:
         """Execute a CAQL query; returns a result stream."""
         if isinstance(q, AggregateQuery):
-            base = self.query(q.base).as_relation()
-            return ResultStream(evaluate_aggregate(q, base), q.base.name)
-        if isinstance(q, SetOfQuery):
-            base = self.query(q.base).as_relation()
-            return ResultStream(evaluate_setof(q, base), q.base.name)
-        if isinstance(q, QuantifiedQuery):
-            base = self.query(q.base).as_relation()
-            within = (
-                self.query(q.within).as_relation() if q.within is not None else None
+            base_stream = self.query(q.base)
+            base = base_stream.as_relation()
+            return ResultStream(
+                evaluate_aggregate(q, base), q.base.name, degraded=base_stream.degraded
             )
-            return ResultStream(evaluate_quantified(q, base, within), q.base.name)
+        if isinstance(q, SetOfQuery):
+            base_stream = self.query(q.base)
+            base = base_stream.as_relation()
+            return ResultStream(
+                evaluate_setof(q, base), q.base.name, degraded=base_stream.degraded
+            )
+        if isinstance(q, QuantifiedQuery):
+            base_stream = self.query(q.base)
+            base = base_stream.as_relation()
+            within_stream = self.query(q.within) if q.within is not None else None
+            within = within_stream.as_relation() if within_stream is not None else None
+            degraded = base_stream.degraded or (
+                within_stream is not None and within_stream.degraded
+            )
+            return ResultStream(
+                evaluate_quantified(q, base, within), q.base.name, degraded=degraded
+            )
         if not isinstance(q, ConjunctiveQuery):
             raise PlanningError(f"not a CAQL query: {q!r}")
 
@@ -200,17 +233,19 @@ class CacheManagementSystem:
             psj = psj_from_literals(
                 q.name, q.relation_literals(), q.comparison_literals(), q.answers
             )
+            self._last_degraded = False
             result = self._answer_psj(psj)
             self._prefetch_companions(q.name)
-            return ResultStream(result, q.name)
+            return ResultStream(result, q.name, degraded=self._last_degraded)
 
         # Evaluable residue: answer the PSJ core through the cache
         # machinery, then run the built-ins row-wise in the CMS (operations
         # the remote DBMS does not support, Section 5.3).
+        self._last_degraded = False
         core_result = self._materialize(self._answer_psj(psj))
         final = self._apply_evaluable(q, core_vars, evaluable, core_result)
         self._prefetch_companions(q.name)
-        return ResultStream(final, q.name)
+        return ResultStream(final, q.name, degraded=self._last_degraded)
 
     def query_pattern(self, pattern: Atom) -> ResultStream:
         """Execute an IE-query given as an instantiated view pattern.
@@ -246,6 +281,7 @@ class CacheManagementSystem:
         plan = self.planner.plan(psj)
 
         # Generalization (step 1): fetch the general form first, replan.
+        # A failed prefetch must not fail the query it was meant to help.
         if plan.prefetches:
             for general in plan.prefetches:
                 logger.debug("generalize: fetching %s for %s", general.name, psj.name)
@@ -253,6 +289,9 @@ class CacheManagementSystem:
                     self._fetch_and_cache(general, view_name=psj.name)
                 except CacheCapacityError:
                     logger.debug("generalize: %s did not fit the cache", general.name)
+                    continue
+                except RemoteDBMSError:
+                    logger.debug("generalize: remote failure fetching %s", general.name)
                     continue
                 self.metrics.incr(CACHE_GENERALIZATIONS)
             plan = self.planner.plan(psj)
@@ -268,7 +307,22 @@ class CacheManagementSystem:
 
         logger.debug("plan[%s] for %s%s", plan.strategy, psj.name,
                      " (lazy)" if plan.lazy else "")
-        result = self.monitor.execute(plan)
+        try:
+            result = self.monitor.execute(plan)
+        except RemoteDBMSError as error:
+            # Retries are exhausted (or the breaker is open): degrade to
+            # whatever the cache can still prove, rather than propagating
+            # the raw failure to the IE.  Degraded answers are never
+            # cached or archived — they would masquerade as fresh.
+            result = self._degraded_answer(psj, plan, error)
+            self._last_degraded = True
+            self.metrics.incr(REMOTE_DEGRADED_ANSWERS)
+            return result
+
+        if self._archive is not None and plan.touches_remote:
+            # Remember the fresh answer for degraded service during a
+            # future outage (survives eviction from the cache proper).
+            self._archive.store(psj, self._materialize(result))
 
         if plan.cache_result and plan.strategy != "exact":
             try:
@@ -281,6 +335,31 @@ class CacheManagementSystem:
                 element.expendable = False  # reuse proved the advice wrong
             self._build_indexes(element, plan.index_positions)
         return result
+
+    def _degraded_answer(self, psj: PSJQuery, plan, error: RemoteDBMSError) -> Relation:
+        """Answer from stale/partial cache data after a remote failure.
+
+        Preference order (the paper's bias toward answering from cache):
+        a subsuming stale-archive copy first (complete rows, unknown
+        freshness), then a partial answer derived from the plan's cache
+        parts.  Re-raises ``error`` when neither exists.
+        """
+        if not self.features.degradation:
+            raise error
+        if self._archive is not None:
+            match = self._archive.find_full(psj)
+            if match is not None:
+                logger.debug(
+                    "degraded[%s]: stale archive copy %s",
+                    psj.name,
+                    match.element.element_id,
+                )
+                return self.monitor.derive_degraded(match, psj)
+        partial = self.monitor.execute_degraded(plan)
+        if partial is not None:
+            logger.debug("degraded[%s]: partial answer from cache parts", psj.name)
+            return partial
+        raise error
 
     def _materialize(self, result: Relation | GeneratorRelation) -> Relation:
         if isinstance(result, GeneratorRelation):
@@ -337,7 +416,7 @@ class CacheManagementSystem:
             logger.debug("prefetch: %s (companion of %s)", companion, view_name)
             try:
                 self._fetch_and_cache(general, view_name=companion)
-            except CacheCapacityError:
+            except (CacheCapacityError, RemoteDBMSError):
                 continue
             self.metrics.incr(CACHE_PREFETCHES)
 

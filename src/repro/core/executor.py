@@ -37,15 +37,30 @@ from repro.caql.psj import ConstProj, PSJQuery
 from repro.core.cache import Cache
 from repro.core.plan import CachePart, QueryPlan, RemotePart
 from repro.core.rdi import RemoteInterface
-from repro.core.subsumption import derive_full, derive_full_lazy, derive_part
+from repro.core.subsumption import (
+    SubsumptionMatch,
+    derive_full,
+    derive_full_lazy,
+    derive_part,
+)
 
 
 class ResultStream:
     """The IE-facing result: tuples on demand, from cache or extension."""
 
-    def __init__(self, relation: Relation | GeneratorRelation, name: str):
+    def __init__(
+        self,
+        relation: Relation | GeneratorRelation,
+        name: str,
+        degraded: bool = False,
+    ):
         self._relation = relation
         self.name = name
+        #: True when the answer was served from a stale archive copy or a
+        #: partial cache derivation because the remote DBMS was
+        #: unreachable — correct as of some earlier point, possibly not
+        #: fresh or complete.
+        self.degraded = degraded
         self._iterator: Iterator[tuple] | None = None
 
     @property
@@ -238,6 +253,97 @@ class ExecutionMonitor:
 
     def _cache_part_relation(self, part: CachePart) -> Relation:
         return derive_part(part.match, list(part.columns))
+
+    # -- graceful degradation (remote unreachable) ---------------------------------
+    def derive_degraded(self, match: SubsumptionMatch, query: PSJQuery) -> Relation:
+        """Answer ``query`` from a (possibly stale) full subsumption match.
+
+        Used when retries are exhausted: the element typically lives in
+        the stale archive rather than the cache proper, so only local
+        derivation cost is charged — no cache bookkeeping applies.
+        """
+        result = derive_full(match, query)
+        self._charge_local(match.element.rows_materialized() + len(result))
+        self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
+        return result
+
+    def execute_degraded(self, plan: QueryPlan) -> Relation | None:
+        """Best-effort partial answer from the plan's cache parts alone.
+
+        The remote part failed; ship what the cache can prove.  Columns
+        only the remote side could have produced come back as ``None``,
+        and cross conditions touching them cannot be checked — the result
+        is a *partial* answer and must be tagged degraded by the caller.
+        Returns None when the plan has no cache-resident component.
+        """
+        cache_parts = [p for p in plan.parts if isinstance(p, CachePart)]
+        if not cache_parts:
+            return None
+        produced: list[Relation] = []
+        for part in cache_parts:
+            self.cache.touch(part.match.element)
+            source_rows = part.match.element.rows_materialized()
+            relation = self._cache_part_relation(part)
+            self._charge_local(source_rows + len(relation))
+            produced.append(relation)
+        result = self._combine_degraded(produced, plan)
+        self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
+        return result
+
+    def _combine_degraded(self, parts: list[Relation], plan: QueryPlan) -> Relation:
+        """The combine stage when some columns never arrived: join the
+        available parts, drop unverifiable conditions, null out missing
+        projection columns."""
+        pending = list(plan.cross_conditions)
+        combined = parts[0]
+        seen_cols = set(combined.schema.attributes)
+        input_rows = len(combined)
+        for relation in parts[1:]:
+            right_cols = set(relation.schema.attributes)
+            pairs, residual, remaining = [], [], []
+            for condition in pending:
+                cols = condition.columns()
+                if cols <= (seen_cols | right_cols):
+                    left_side = cols & seen_cols
+                    right_side = cols & right_cols
+                    if (
+                        condition.op == "="
+                        and condition.is_col_col()
+                        and len(left_side) == 1
+                        and len(right_side) == 1
+                    ):
+                        pairs.append((left_side.pop(), right_side.pop()))
+                    else:
+                        residual.append(condition)
+                else:
+                    remaining.append(condition)
+            combined = join(combined, relation, pairs, name="combine", conditions=residual)
+            seen_cols |= right_cols
+            input_rows += len(relation) + len(combined)
+            pending = remaining
+        applicable = [c for c in pending if c.columns() <= seen_cols]
+        if applicable:
+            combined = select(combined, applicable)
+
+        schema = result_schema(plan.query.name, plan.query.arity)
+        entries: list[tuple[str, object]] = []
+        for entry in plan.query.projection:
+            if isinstance(entry, ConstProj):
+                entries.append(("const", entry.value))
+            elif entry in combined.schema.attributes:
+                entries.append(("col", combined.schema.position(entry)))
+            else:
+                entries.append(("const", None))  # the remote side had it
+        if entries:
+            rows = (
+                tuple(v if kind == "const" else row[v] for kind, v in entries)
+                for row in combined
+            )
+            result = Relation(schema, rows)
+        else:
+            result = Relation(schema, [(True,)] if len(combined) else [])
+        self._charge_local(input_rows + len(result))
+        return result
 
     def _with_columns(self, relation: Relation, columns: tuple[str, ...], label: str) -> Relation:
         if not columns:

@@ -56,12 +56,20 @@ class QueryPlanner:
         stats_of: StatsLookup,
         profile: CostProfile,
         features: PlannerFeatures | None = None,
+        remote_available: Callable[[], bool] | None = None,
     ):
         self.cache = cache
         self.advice = advice
         self.stats_of = stats_of
         self.profile = profile
         self.features = features if features is not None else PlannerFeatures()
+        #: Resilience hook (circuit breaker): when the remote DBMS is
+        #: currently unreachable, the planner keeps cache parts in hybrid
+        #: plans instead of shipping the whole query, so a failing remote
+        #: part can still degrade to a partial cache-served answer.
+        self.remote_available = (
+            remote_available if remote_available is not None else (lambda: True)
+        )
 
     # -- entry point -------------------------------------------------------------
     def plan(self, query: PSJQuery) -> QueryPlan:
@@ -241,8 +249,12 @@ class QueryPlanner:
             )
             remote_cost = self._remote_cost(sub)
 
-        # Compare the hybrid plan against shipping the whole query.
-        if chosen and uncovered:
+        # Compare the hybrid plan against shipping the whole query.  With
+        # the circuit breaker open, keep the cache parts: they are the raw
+        # material for a degraded answer if the remote part fails again.
+        if chosen and uncovered and not self.remote_available():
+            notes = notes + ["remote unavailable: keeping cache parts for degradation"]
+        elif chosen and uncovered:
             whole_remote = self._remote_cost(query)
             hybrid = (
                 max(remote_cost, local_cost)

@@ -9,34 +9,85 @@ passing buffer control to the Cache Manager."
 The RDI owns the CMS's copy of the remote schema (Section 5: the Cache
 Manager keeps "(a copy of) the remote database schema") so repeated schema
 lookups do not pay communication cost.
+
+It is also the resilience boundary for the workstation–server link: every
+remote request runs under a :class:`~repro.remote.faults.RetryPolicy` —
+bounded retries with exponential backoff (charged to the ``remote`` clock
+track), a per-request timeout metered in simulated remote seconds, and a
+circuit breaker that refuses requests locally while the server is failing.
+With the default policy on a healthy link none of this machinery fires, so
+fault handling is strictly opt-in.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import UnknownRelationError
+import random
+from typing import Callable, TypeVar
+
+from repro.common.errors import (
+    CircuitOpenError,
+    RemoteDBMSError,
+    RemoteTimeoutError,
+    TransientRemoteError,
+    UnknownRelationError,
+)
+from repro.common.metrics import REMOTE_RETRIES, REMOTE_TIMEOUTS
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.statistics import RelationStatistics
+from repro.remote.faults import CircuitBreaker, RetryPolicy
 from repro.remote.server import RemoteDBMS
+from repro.remote.sql import DMLRequest
 from repro.caql.psj import PSJQuery
 from repro.caql.translate import sql_from_psj
 
+T = TypeVar("T")
+
 
 class RemoteInterface:
-    """Translates PSJ queries to DML, executes them, rebuilds results."""
+    """Translates PSJ queries to DML, executes them resiliently, rebuilds
+    results."""
 
-    def __init__(self, server: RemoteDBMS, buffer_size: int = 64):
+    def __init__(
+        self,
+        server: RemoteDBMS,
+        buffer_size: int = 64,
+        retry: RetryPolicy | None = None,
+    ):
         self._server = server
         self._buffer_size = buffer_size
         self._schema_cache: dict[str, Schema] = {}
         self._statistics_cache: dict[str, RelationStatistics] = {}
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random(self._retry.seed)
+        self._breaker = CircuitBreaker(
+            self._retry.breaker_threshold,
+            self._retry.breaker_cooldown,
+            lambda: server.clock.now,
+            server.metrics,
+            probe_after=self._retry.breaker_probe_after,
+        )
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The link's circuit breaker (observable state for tests/planner)."""
+        return self._breaker
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The active client-side resilience policy."""
+        return self._retry
+
+    def remote_available(self) -> bool:
+        """Planner hook: would a remote request be allowed right now?"""
+        return self._breaker.would_allow()
 
     # -- metadata (cached copies) ---------------------------------------------------
     def schema_of(self, table: str) -> Schema:
         """Remote schema, from the local copy after the first round trip."""
         schema = self._schema_cache.get(table)
         if schema is None:
-            schema = self._server.schema_of(table)  # one charged round trip
+            schema = self._resilient(lambda: self._server.schema_of(table))
             self._schema_cache[table] = schema
         return schema
 
@@ -44,7 +95,7 @@ class RemoteInterface:
         """Remote statistics, cached after the first round trip."""
         statistics = self._statistics_cache.get(table)
         if statistics is None:
-            statistics = self._server.statistics_of(table)
+            statistics = self._resilient(lambda: self._server.statistics_of(table))
             self._statistics_cache[table] = statistics
         return statistics
 
@@ -63,13 +114,7 @@ class RemoteInterface:
         to cache-resident data, Section 5.1).
         """
         translation = sql_from_psj(psj, self.schema_of)
-        stream = self._server.execute_stream(translation.query, self._buffer_size)
-        rows: list[tuple] = []
-        while True:
-            buffer = stream.next_buffer()
-            if not buffer:
-                break
-            rows.extend(buffer)
+        rows, _schema = self._resilient(lambda: self._attempt_fetch(translation.query))
         return translation.rebuild(rows)
 
     def fetch_base_relation(self, table: str) -> Relation:
@@ -78,21 +123,75 @@ class RemoteInterface:
 
         if not self.has_table(table):
             raise UnknownRelationError(table)
-        stream = self._server.execute_stream(FetchTableQuery(table), self._buffer_size)
+        rows, schema = self._resilient(
+            lambda: self._attempt_fetch(FetchTableQuery(table))
+        )
+        # Results are exposed under positional attribute names, matching
+        # how PSJ queries address base relations.
+        arity = len(schema.attributes)
+        positional = Schema(table, tuple(f"a{i}" for i in range(arity)))
+        return Relation(positional, rows)
+
+    def estimate_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
+        """Planner hook: simulated seconds a remote request would cost.
+
+        Fractional estimates flow through unchanged — truncating them to
+        ints made sub-tuple estimates look free and biased the planner
+        toward remote execution for small queries.
+        """
+        return self._server.network.request_cost(tuples_touched, tuples_shipped)
+
+    # -- resilience ---------------------------------------------------------------------
+    def _attempt_fetch(self, request: DMLRequest) -> tuple[list[tuple], Schema]:
+        """One attempt: issue the request and drain the stream, metering the
+        per-request timeout against remote seconds actually charged."""
+        network = self._server.network
+        timeout = self._retry.timeout_seconds
+        start = network.charged_seconds
+        stream = self._server.execute_stream(request, self._buffer_size)
         rows: list[tuple] = []
         while True:
+            if timeout is not None and network.charged_seconds - start > timeout:
+                raise RemoteTimeoutError(
+                    f"remote request exceeded {timeout}s of simulated remote time"
+                )
             buffer = stream.next_buffer()
             if not buffer:
                 break
             rows.extend(buffer)
-        # Results are exposed under positional attribute names, matching
-        # how PSJ queries address base relations.
-        arity = len(stream.schema.attributes)
-        schema = Schema(table, tuple(f"a{i}" for i in range(arity)))
-        return Relation(schema, rows)
+        return rows, stream.schema
 
-    def estimate_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
-        """Planner hook: simulated seconds a remote request would cost."""
-        return self._server.network.request_cost(
-            int(tuples_touched), int(tuples_shipped)
-        )
+    def _resilient(self, op: Callable[[], T]) -> T:
+        """Run one remote operation under retry/backoff/timeout/breaker."""
+        policy = self._retry
+        breaker = self._breaker
+        if not breaker.allow():
+            raise CircuitOpenError(
+                "circuit breaker open: remote DBMS temporarily unavailable"
+            )
+        metrics = self._server.metrics
+        network = self._server.network
+        last: RemoteDBMSError | None = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                value = op()
+            except RemoteTimeoutError as error:
+                metrics.incr(REMOTE_TIMEOUTS)
+                last = error
+            except TransientRemoteError as error:
+                last = error
+            except RemoteDBMSError:
+                # Permanent: retrying cannot help, but the breaker still
+                # counts it toward tripping open.
+                breaker.record_failure()
+                raise
+            else:
+                breaker.record_success()
+                return value
+            breaker.record_failure()
+            if attempt >= policy.max_retries or not breaker.allow():
+                break
+            metrics.incr(REMOTE_RETRIES)
+            network.charge_backoff(policy.backoff(attempt, self._rng))
+        assert last is not None
+        raise last

@@ -2,6 +2,13 @@
 
 from repro.remote.catalog import Catalog
 from repro.remote.engine import EngineResult, PurePythonEngine
+from repro.remote.faults import (
+    CircuitBreaker,
+    FaultDecision,
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+)
 from repro.remote.network import REMOTE_TRACK, NetworkModel
 from repro.remote.server import RemoteDBMS, RemoteResultStream
 from repro.remote.sql import (
@@ -18,10 +25,15 @@ from repro.remote.sqlite_backend import SqliteEngine
 
 __all__ = [
     "Catalog",
+    "CircuitBreaker",
     "EngineResult",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPolicy",
     "FetchTableQuery",
     "NetworkModel",
     "PurePythonEngine",
+    "RetryPolicy",
     "REMOTE_TRACK",
     "RemoteDBMS",
     "RemoteResultStream",

@@ -35,27 +35,48 @@ class NetworkModel:
     clock: SimClock
     profile: CostProfile
     metrics: Metrics
+    #: Cumulative remote-side seconds ever charged through this model.
+    #: Monotone even inside parallel regions (where ``clock.now`` is
+    #: frozen), so clients can meter per-request timeouts against it.
+    charged_seconds: float = 0.0
+
+    def _charge(self, seconds: float) -> None:
+        self.charged_seconds += seconds
+        self.clock.charge(REMOTE_TRACK, seconds)
 
     def charge_request(self) -> None:
         """One round trip: pay latency, count the request."""
         self.metrics.incr(REMOTE_REQUESTS)
-        self.clock.charge(REMOTE_TRACK, self.profile.remote_latency)
+        self._charge(self.profile.remote_latency)
 
     def charge_server_work(self, tuples_touched: int) -> None:
         """Server-side execution cost for a request."""
         if tuples_touched < 0:
             raise ValueError("tuples_touched must be non-negative")
         self.metrics.incr(REMOTE_SERVER_TUPLES, tuples_touched)
-        self.clock.charge(REMOTE_TRACK, self.profile.server_per_tuple * tuples_touched)
+        self._charge(self.profile.server_per_tuple * tuples_touched)
 
     def charge_transfer(self, tuples_shipped: int) -> None:
         """Wire cost of shipping result tuples to the workstation."""
         if tuples_shipped < 0:
             raise ValueError("tuples_shipped must be non-negative")
         self.metrics.incr(REMOTE_TUPLES, tuples_shipped)
-        self.clock.charge(REMOTE_TRACK, self.profile.transfer_per_tuple * tuples_shipped)
+        self._charge(self.profile.transfer_per_tuple * tuples_shipped)
 
-    def request_cost(self, tuples_touched: int, tuples_shipped: int) -> float:
+    def charge_stall(self, seconds: float) -> None:
+        """An injected latency spike: dead time on the wire."""
+        if seconds < 0:
+            raise ValueError("stall seconds must be non-negative")
+        self._charge(seconds)
+
+    def charge_backoff(self, seconds: float) -> None:
+        """Client-side wait between retries (still remote-track time: the
+        workstation is free to do parallel cache work meanwhile)."""
+        if seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        self._charge(seconds)
+
+    def request_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
         """The simulated seconds a request would cost (for the planner).
 
         Pure estimation — charges nothing.

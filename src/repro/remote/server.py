@@ -19,12 +19,14 @@ from __future__ import annotations
 from typing import Protocol
 
 from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import RemoteDBMSError, TransientRemoteError
 from repro.common.metrics import Metrics
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.statistics import RelationStatistics
 from repro.remote.catalog import Catalog
 from repro.remote.engine import EngineResult, PurePythonEngine
+from repro.remote.faults import FaultInjector, FaultPolicy
 from repro.remote.network import NetworkModel
 from repro.remote.sql import DMLRequest
 
@@ -55,6 +57,7 @@ class RemoteResultStream:
         network: NetworkModel,
         buffer_size: int,
         pipelined: bool,
+        fail_after_buffers: int | None = None,
     ):
         self.schema = schema
         self._rows = rows
@@ -62,6 +65,8 @@ class RemoteResultStream:
         self._buffer_size = max(1, buffer_size)
         self._pipelined = pipelined
         self._position = 0
+        self._fail_after = fail_after_buffers
+        self._buffers_pulled = 0
         if not pipelined:
             network.charge_transfer(len(rows))
 
@@ -69,8 +74,13 @@ class RemoteResultStream:
         """The next buffer of rows; empty when the result is exhausted."""
         if self._position >= len(self._rows):
             return []
+        if self._fail_after is not None and self._buffers_pulled >= self._fail_after:
+            raise TransientRemoteError(
+                f"connection dropped mid-stream after {self._buffers_pulled} buffers"
+            )
         chunk = self._rows[self._position:self._position + self._buffer_size]
         self._position += len(chunk)
+        self._buffers_pulled += 1
         if self._pipelined:
             self._network.charge_transfer(len(chunk))
         return chunk
@@ -96,6 +106,7 @@ class RemoteDBMS:
         profile: CostProfile | None = None,
         metrics: Metrics | None = None,
         supports_pipelining: bool = True,
+        faults: FaultPolicy | None = None,
     ):
         self.engine: Engine = engine if engine is not None else PurePythonEngine()
         self.clock = clock if clock is not None else SimClock()
@@ -104,6 +115,39 @@ class RemoteDBMS:
         self.network = NetworkModel(self.clock, self.profile, self.metrics)
         self.catalog = Catalog()
         self.supports_pipelining = supports_pipelining
+        self.fault_injector: FaultInjector | None = None
+        self.set_fault_policy(faults)
+
+    def set_fault_policy(self, faults: FaultPolicy | None) -> None:
+        """Install (or clear) the link's fault policy.
+
+        May be called mid-run to model an outage window.  A ``None`` or
+        all-zero policy restores the exact pre-fault request path.
+        """
+        if faults is None or faults.is_none():
+            self.fault_injector = None
+        else:
+            self.fault_injector = FaultInjector(faults, self.metrics)
+
+    def _inject(self, allow_disconnect: bool, metadata: bool = False) -> int | None:
+        """Consult the fault injector for one request.
+
+        Charges any latency spike, raises injected errors, and returns the
+        buffer count after which a stream should disconnect (or None).
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return None
+        if metadata and not injector.policy.metadata_faults:
+            return None
+        decision = injector.on_request()
+        if decision.extra_latency:
+            self.network.charge_stall(decision.extra_latency)
+        if decision.kind == "transient":
+            raise TransientRemoteError("injected transient link failure")
+        if decision.kind == "permanent":
+            raise RemoteDBMSError("injected permanent remote failure")
+        return decision.disconnect_after if allow_disconnect else None
 
     # -- data definition (done by the DBA, not charged) ----------------------------
     def load_table(self, relation: Relation) -> None:
@@ -115,11 +159,13 @@ class RemoteDBMS:
     def schema_of(self, table: str) -> Schema:
         """Answer a schema lookup (one round trip)."""
         self.network.charge_request()
+        self._inject(allow_disconnect=False, metadata=True)
         return self.catalog.schema(table)
 
     def statistics_of(self, table: str) -> RelationStatistics:
         """Answer a statistics lookup (one round trip)."""
         self.network.charge_request()
+        self._inject(allow_disconnect=False, metadata=True)
         return self.catalog.statistics(table)
 
     def has_table(self, table: str) -> bool:
@@ -130,6 +176,7 @@ class RemoteDBMS:
     def execute(self, request: DMLRequest) -> Relation:
         """Execute a request and ship the entire result."""
         self.network.charge_request()
+        self._inject(allow_disconnect=False)
         result = self.engine.execute(request)
         self.network.charge_server_work(result.tuples_touched)
         self.network.charge_transfer(len(result.relation))
@@ -143,6 +190,7 @@ class RemoteDBMS:
         Section 5.5) but with pipelining only shipped buffers pay transfer.
         """
         self.network.charge_request()
+        fail_after = self._inject(allow_disconnect=True)
         result = self.engine.execute(request)
         self.network.charge_server_work(result.tuples_touched)
         return RemoteResultStream(
@@ -151,4 +199,5 @@ class RemoteDBMS:
             self.network,
             buffer_size,
             pipelined=self.supports_pipelining,
+            fail_after_buffers=fail_after,
         )

@@ -1,8 +1,10 @@
 """Unit tests for the Execution Monitor and result streams."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.common.clock import CostProfile, SimClock
+from repro.common.clock import CostProfile, ParallelRegion, SimClock
 from repro.common.errors import PlanningError
 from repro.common.metrics import CACHE_TUPLES_PROCESSED, Metrics
 from repro.relational.generator import generator_from_rows
@@ -175,3 +177,169 @@ class TestResultStream:
     def test_schema_passthrough(self):
         relation = relation_from_columns("r", a=[1])
         assert ResultStream(relation, "r").schema.attributes == ("a",)
+
+    def test_degraded_flag_defaults_false(self):
+        relation = relation_from_columns("r", a=[1])
+        assert not ResultStream(relation, "r").degraded
+        assert ResultStream(relation, "r", degraded=True).degraded
+
+
+class TestResultStreamEdgeCases:
+    """Exhaustion, mixed consumption, and exactly-once lazy production."""
+
+    def make_lazy(self, rows):
+        gen = generator_from_rows(result_schema("g", 1), rows)
+        produced = []
+        gen.on_produce = produced.append
+        return ResultStream(gen, "g"), produced
+
+    def test_next_after_exhaustion_on_lazy_stays_none(self):
+        stream, _produced = self.make_lazy([(1,), (2,)])
+        assert stream.next() == (1,)
+        assert stream.next() == (2,)
+        assert stream.next() is None
+        assert stream.next() is None  # stays exhausted, no restart
+
+    def test_fetch_all_after_partial_next_is_complete(self):
+        stream, produced = self.make_lazy([(1,), (2,), (3,)])
+        assert stream.next() == (1,)
+        assert stream.fetch_all() == [(1,), (2,), (3,)]
+        # Each tuple was produced (and would be charged) exactly once:
+        # the memoized prefix served the re-read of row 1.
+        assert produced == [(1,), (2,), (3,)]
+
+    def test_double_iteration_produces_each_tuple_once(self):
+        stream, produced = self.make_lazy([(1,), (2,)])
+        assert list(stream) == [(1,), (2,)]
+        assert list(stream) == [(1,), (2,)]
+        assert produced == [(1,), (2,)]
+
+    def test_next_after_fetch_all_continues_from_memo(self):
+        stream, produced = self.make_lazy([(1,), (2,)])
+        assert stream.fetch_all() == [(1,), (2,)]
+        assert stream.next() == (1,)  # fresh cursor over the memoized rows
+        assert produced == [(1,), (2,)]
+
+    def test_duplicate_rows_deduplicated_and_charged_once(self):
+        stream, produced = self.make_lazy([(1,), (1,), (2,)])
+        assert stream.fetch_all() == [(1,), (2,)]
+        assert produced == [(1,), (2,)]
+
+    def test_eager_stream_unaffected_by_mixed_consumption(self):
+        relation = relation_from_columns("r", a=[1, 2, 3])
+        stream = ResultStream(relation, "r")
+        assert stream.next() == (1,)
+        assert stream.fetch_all() == [(1,), (2,), (3,)]
+        assert stream.next() == (2,)  # next() keeps its own cursor
+
+
+class SpyRegion:
+    """A ParallelRegion that reports its per-track totals on exit."""
+
+    def __init__(self, clock, sink):
+        self._region = ParallelRegion(clock)
+        self._sink = sink
+
+    def __enter__(self):
+        return self._region.__enter__()
+
+    def __exit__(self, *exc):
+        self._sink.append(self._region.tracks)
+        return self._region.__exit__(*exc)
+
+
+def spy_on_parallel(clock):
+    """Capture the track totals of every parallel region ``clock`` opens."""
+    captured = []
+    clock.parallel = lambda: SpyRegion(clock, captured)
+    return captured
+
+
+class TestParallelEquivalence:
+    """Property: parallel execution changes timing, never answers.
+
+    Section 5.3.3 — remote and cache subqueries overlap, so a parallel
+    region advances the clock by max(local, remote) while producing the
+    same rows the sequential schedule would.
+    """
+
+    QUERY = "q(Z) :- b2(2, Z), b3(Z, c2, 1)"
+    WARM = "e12(X, Y) :- b3(X, c2, Y)"
+
+    def run_once(self, b2_rows, b3_rows, parallel):
+        server = RemoteDBMS()
+        b2 = Relation(result_schema("b2", 2), b2_rows)
+        b3 = Relation(result_schema("b3", 3), b3_rows)
+        server.load_table(b2.renamed("b2"))
+        server.load_table(b3.renamed("b3"))
+        cache = Cache()
+        lookup = {"b2": b2, "b3": b3}.__getitem__
+        warm = make_psj(self.WARM)
+        cache.store(warm, evaluate_psj(warm, lookup))
+        monitor = ExecutionMonitor(
+            cache,
+            RemoteInterface(server),
+            server.clock,
+            server.profile,
+            server.metrics,
+            parallel=parallel,
+        )
+        planner = make_planner(cache, server)
+        psj = make_psj(self.QUERY)
+        plan = planner.plan(psj)
+        regions = spy_on_parallel(server.clock)
+        before = server.clock.now
+        result = monitor.execute(plan)
+        elapsed = server.clock.now - before
+        expected = evaluate_psj(psj, lookup)
+        return result, expected, elapsed, regions, plan
+
+    @given(
+        b2_rows=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=24
+        ),
+        b3_rows=st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.sampled_from(["c2", "c3"]),
+                st.integers(0, 2),
+            ),
+            max_size=24,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_and_sequential_agree(self, b2_rows, b3_rows):
+        par, expected, par_elapsed, regions, plan = self.run_once(
+            b2_rows, b3_rows, parallel=True
+        )
+        seq, _expected, seq_elapsed, seq_regions, _ = self.run_once(
+            b2_rows, b3_rows, parallel=False
+        )
+        # Same answer multiset, and both match direct evaluation.
+        assert sorted(par.rows) == sorted(seq.rows) == sorted(expected.rows)
+        # Parallel never takes longer than sequential.
+        assert par_elapsed <= seq_elapsed + 1e-12
+        assert not seq_regions  # sequential run opens no parallel region
+        if regions:
+            # The region advanced the clock by exactly max(local, remote);
+            # work outside the region (combine/metrics) is sequential.
+            overlap = sum(max(tracks.values()) for tracks in regions)
+            saved = sum(sum(tracks.values()) for tracks in regions) - overlap
+            assert seq_elapsed - par_elapsed == pytest.approx(saved)
+
+    def test_hybrid_parallel_elapsed_is_max_of_tracks(self):
+        b2_rows = [(x, z) for x in range(4) for z in range(4)]
+        b3_rows = [
+            (z, c, y) for z in range(4) for c in ("c2", "c3") for y in range(3)
+        ]
+        result, expected, elapsed, regions, plan = self.run_once(
+            b2_rows, b3_rows, parallel=True
+        )
+        assert plan.strategy == "hybrid"
+        assert sorted(result.rows) == sorted(expected.rows)
+        assert len(regions) == 1
+        tracks = regions[0]
+        assert set(tracks) == {"local", "remote"}
+        assert max(tracks.values()) <= elapsed
+        # Everything charged outside the region is sequential tail work.
+        assert elapsed >= max(tracks.values())

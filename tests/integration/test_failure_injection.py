@@ -1,4 +1,9 @@
-"""Failure injection: errors must surface cleanly, never corrupt state."""
+"""Failure injection: errors must surface cleanly, never corrupt state.
+
+The second half of this file exercises the fault-injected link end to end
+through the CMS: injected outages, retry/backoff, the circuit breaker, and
+graceful degradation from the stale archive and partial cache answers.
+"""
 
 import pytest
 
@@ -9,10 +14,15 @@ from repro.common.errors import (
     UnknownRelationError,
 )
 from repro.caql.parser import parse_query
-from repro.core.cms import CacheManagementSystem
+from repro.core.cms import CacheManagementSystem, CMSFeatures
 from repro.relational.relation import relation_from_columns
+from repro.remote.faults import FaultPolicy, RetryPolicy
 from repro.remote.server import RemoteDBMS
 from repro.remote.sql import FetchTableQuery
+from repro.workloads.genealogy import genealogy
+from repro.workloads.queries import StreamSpec, repeated_selection_stream
+
+OUTAGE = FaultPolicy(seed=0, transient_rate=1.0)
 
 
 def make_cms(**kwargs):
@@ -113,3 +123,186 @@ class TestStreamMisuse:
         stream = cms.query(parse_query("q(A, B) :- t(A, B)"))
         stream.next()
         assert len(stream.fetch_all()) == 3  # fetch_all is complete, not a tail
+
+
+class TestDegradedFallback:
+    """Exhausted retries fall back to stale/partial cache answers."""
+
+    def make(self, **features):
+        # caching off by default so repeat queries must go remote — the
+        # stale archive (not the live cache) is what serves the outage.
+        features.setdefault("caching", False)
+        features.setdefault("retry_policy", RetryPolicy(max_retries=1))
+        cms, server = make_cms(features=CMSFeatures(**features))
+        return cms, server
+
+    def test_stale_archive_serves_exact_repeat(self):
+        cms, server = self.make()
+        q = parse_query("q(A, B) :- t(A, B)")
+        fresh = cms.query(q)
+        rows = fresh.fetch_all()
+        assert not fresh.degraded
+
+        server.set_fault_policy(OUTAGE)
+        stale = cms.query(q)
+        assert sorted(stale.fetch_all()) == sorted(rows)
+        assert stale.degraded
+        assert server.metrics.get("remote.degraded_answers") == 1
+
+    def test_stale_archive_serves_subsumed_query(self):
+        cms, server = self.make()
+        cms.query(parse_query("q(A, B) :- t(A, B)")).fetch_all()
+        server.set_fault_policy(OUTAGE)
+        narrower = cms.query(parse_query("p(B) :- t(2, B)"))
+        assert narrower.fetch_all() == [(5,)]
+        assert narrower.degraded
+
+    def test_partial_answer_from_cache_parts(self):
+        # t is big and cached, s is small and remote: the hybrid split wins
+        # the plan comparison, so when the s-side fetch fails only the
+        # cached t-side can be served.
+        server = RemoteDBMS()
+        server.load_table(
+            relation_from_columns(
+                "t", a=list(range(200)), b=[4 + i % 2 for i in range(200)]
+            )
+        )
+        server.load_table(relation_from_columns("s", b=[4, 5], c=[7, 8]))
+        cms = CacheManagementSystem(
+            server, features=CMSFeatures(retry_policy=RetryPolicy(max_retries=1))
+        )
+        cms.begin_session()
+        cms.query(parse_query("q1(A, B) :- t(A, B)")).fetch_all()  # caches t
+
+        server.set_fault_policy(OUTAGE)
+        joined = cms.query(parse_query("q2(A, C) :- t(A, B), s(B, C)"))
+        rows = joined.fetch_all()
+        assert joined.degraded
+        # The t-side column is real; the unreachable s-side is unknown.
+        assert sorted(row[0] for row in rows) == list(range(200))
+        assert all(row[1] is None for row in rows)
+
+    def test_degraded_answers_are_not_archived(self):
+        cms, server = self.make()
+        q = parse_query("q(A, B) :- t(A, B)")
+        cms.query(q).fetch_all()
+        archived = len(cms._archive)
+        server.set_fault_policy(OUTAGE)
+        assert cms.query(q).degraded
+        assert len(cms._archive) == archived  # stale copy not re-archived
+
+    def test_recovery_clears_the_degraded_flag(self):
+        cms, server = self.make()
+        q = parse_query("q(A, B) :- t(A, B)")
+        cms.query(q).fetch_all()
+        server.set_fault_policy(OUTAGE)
+        assert cms.query(q).degraded
+        server.set_fault_policy(None)
+        assert not cms.query(q).degraded
+
+    def test_degradation_disabled_propagates_the_error(self):
+        cms, server = self.make(degradation=False)
+        q = parse_query("q(A, B) :- t(A, B)")
+        cms.query(q).fetch_all()
+        server.set_fault_policy(OUTAGE)
+        with pytest.raises(RemoteDBMSError):
+            cms.query(q).fetch_all()
+
+    def test_nothing_to_degrade_to_propagates_the_error(self):
+        cms, server = self.make()
+        server.set_fault_policy(OUTAGE)  # outage before anything was seen
+        with pytest.raises(RemoteDBMSError):
+            cms.query(parse_query("q(A, B) :- t(A, B)")).fetch_all()
+
+    def test_aggregate_over_degraded_base_is_flagged(self):
+        from repro.caql.ast import AggregateQuery
+
+        cms, server = self.make()
+        base = parse_query("q(A, B) :- t(A, B)")
+        cms.query(base).fetch_all()
+        server.set_fault_policy(OUTAGE)
+        stream = cms.query(
+            AggregateQuery(base, group_by=(), aggregations=(("count", 0, "n"),))
+        )
+        assert stream.fetch_all() == [(3,)]
+        assert stream.degraded
+
+
+class TestFaultedWorkload:
+    """Acceptance scenario: an E2-style session over a 20%-flaky link with a
+    total outage in the middle must complete with every query answered."""
+
+    def run_session(self, seed):
+        server = RemoteDBMS(faults=FaultPolicy(seed=seed, transient_rate=0.2))
+        for table in genealogy(seed=23).tables:
+            server.load_table(table)
+        # Tiny cache: elements evict constantly, so outage-time answers
+        # really come from the stale archive, not lucky cache residency.
+        cms = CacheManagementSystem(server, capacity_bytes=600)
+        cms.begin_session()
+        people = [f"p{i}" for i in range(22)]
+        queries = list(
+            repeated_selection_stream(
+                "q(Y) :- parent($C, Y)", people, StreamSpec(60, 0.6, seed=7)
+            )
+        )
+        answered = degraded = failed = 0
+        for i, q in enumerate(queries):
+            if i == 30:
+                server.set_fault_policy(FaultPolicy(seed=seed + 1, transient_rate=1.0))
+            if i == 35:
+                server.set_fault_policy(FaultPolicy(seed=seed + 2, transient_rate=0.2))
+            try:
+                stream = cms.query(q)
+                stream.fetch_all()
+                answered += 1
+                degraded += stream.degraded
+            except RemoteDBMSError:
+                failed += 1
+        return {
+            "answered": answered,
+            "degraded": degraded,
+            "failed": failed,
+            "snapshot": server.metrics.snapshot(),
+            "clock": server.clock.now,
+        }
+
+    def test_availability_under_faults(self):
+        outcome = self.run_session(seed=11)
+        total = outcome["answered"] + outcome["failed"]
+        assert total == 60
+        assert outcome["answered"] / total >= 0.95
+        assert outcome["degraded"] > 0
+        snapshot = outcome["snapshot"]
+        assert snapshot["remote.retries"] > 0
+        assert snapshot["remote.degraded_answers"] > 0
+        assert snapshot["remote.faults_injected"] > 0
+
+    def test_same_seed_runs_are_byte_identical(self):
+        assert self.run_session(seed=11) == self.run_session(seed=11)
+
+    def test_breaker_cycles_during_long_outage(self):
+        server = RemoteDBMS()
+        for table in genealogy(seed=23).tables:
+            server.load_table(table)
+        cms = CacheManagementSystem(server, capacity_bytes=600)
+        cms.begin_session()
+        people = [f"p{i}" for i in range(22)]
+        queries = list(
+            repeated_selection_stream(
+                "q(Y) :- parent($C, Y)", people, StreamSpec(60, 0.6, seed=7)
+            )
+        )
+        for i, q in enumerate(queries):
+            if i == 30:
+                server.set_fault_policy(FaultPolicy(seed=12, transient_rate=1.0))
+            if i == 40:
+                server.set_fault_policy(None)
+            try:
+                cms.query(q).fetch_all()
+            except RemoteDBMSError:
+                pass
+        changes = server.metrics.get("remote.breaker_state_changes")
+        # At least one full open -> half-open -> closed recovery.
+        assert changes >= 3
+        assert cms.rdi.breaker.state == "closed"
