@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.advice.language import AdviceSet
-from repro.advice.path_expression import Cardinality, QueryPattern, Sequence
+from repro.advice.path_expression import QueryPattern, Sequence
 from repro.advice.view_spec import annotate
 from repro.caql.parser import parse_query
 from repro.core.cms import CacheManagementSystem, CMSFeatures

@@ -23,7 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.common.errors import AdviceError
-from repro.logic.terms import Const, Var
+from repro.logic.terms import Const
 from repro.caql.ast import ConjunctiveQuery
 
 

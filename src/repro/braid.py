@@ -23,6 +23,7 @@ from repro.baselines.loose import LooseCoupling
 from repro.baselines.relation_cache import SingleRelationBuffer
 from repro.core.cms import CacheManagementSystem, CMSFeatures
 from repro.ie.engine import InferenceEngine, Solutions
+from repro.server.braid_server import BraidServer, ServerConfig
 from repro.workloads.workload import Workload
 
 #: The bridge implementations selectable by name.
@@ -68,6 +69,11 @@ class BraidSystem:
             self.remote.load_table(table)
 
         self.kb = kb
+        #: With the "cms" bridge the system is a one-session instance of
+        #: the multi-session server: the single IE talks to a session's
+        #: CMS while the session manager owns the (shareable) cache, so
+        #: the single- and multi-client paths exercise the same layer.
+        self.server: BraidServer | None = None
         self.bridge = self._build_bridge()
         self.ie = InferenceEngine(
             kb,
@@ -81,11 +87,17 @@ class BraidSystem:
     def _build_bridge(self):
         bridge = self.config.bridge
         if bridge == "cms":
-            return CacheManagementSystem(
-                self.remote,
-                capacity_bytes=self.config.cache_capacity_bytes,
-                features=self.config.features,
+            self.server = BraidServer(
+                config=ServerConfig(
+                    cache_capacity_bytes=self.config.cache_capacity_bytes,
+                    features=self.config.features,
+                ),
+                remote=self.remote,
+                # The IE consumes streams lazily and may abandon them, so
+                # stream-lifetime pins (a server-drain guarantee) stay off.
+                pin_streams=False,
             )
+            return self.server.open_session("main").cms
         if bridge == "loose":
             return LooseCoupling(self.remote)
         if bridge == "exact-cache":

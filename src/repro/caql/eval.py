@@ -17,7 +17,7 @@ from repro.logic.terms import Atom, Const, Substitution, Var
 from repro.relational.expressions import Comparison
 from repro.relational.generator import GeneratorRelation
 from repro.relational.operators import aggregate as relational_aggregate
-from repro.relational.operators import join, project, select
+from repro.relational.operators import join, select
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.caql.ast import AggregateQuery, ConjunctiveQuery, SetOfQuery

@@ -21,7 +21,7 @@ reasoning (implication, subsumption, generalization) purely syntactic.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import TranslationError
 from repro.logic.terms import Atom, Const, Term, Var

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import TranslationError
-from repro.relational.expressions import Col, Comparison, Lit
+from repro.relational.expressions import Col
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.remote.sql import SelectQuery, SqlCol, SqlCondition, SqlLit, TableRef

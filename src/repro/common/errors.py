@@ -111,6 +111,48 @@ class PlanningError(BraidError):
     """The query planner/optimizer could not produce a plan."""
 
 
+class StalePlanError(PlanningError):
+    """A plan referenced cache elements that were invalidated before it ran.
+
+    Under multi-session interleaving another session's eviction,
+    generalization, or replacement can retire an element between planning
+    and execution; the executor detects this through the cache epoch and
+    element identity, and the CMS responds by replanning against the
+    current cache state.
+    """
+
+
+class ServerError(BraidError):
+    """The multi-session BrAID server refused or failed a request."""
+
+
+class ServerOverloadError(ServerError):
+    """Admission control rejected a request because the server is saturated.
+
+    Raised when the bounded request queue is full; carries the queue
+    bound so clients can implement their own backoff.
+    """
+
+    def __init__(self, message: str, queue_depth: int | None = None,
+                 max_queue_depth: int | None = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+
+
+class UnknownSessionError(ServerError):
+    """A request named a session the server has never opened (or closed)."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown session: {name!r}")
+        self.name = name
+
+
+class SessionStateError(ServerError):
+    """A session was used in a way its lifecycle state forbids
+    (double-open of a name, submit after close, and the like)."""
+
+
 class InferenceError(BraidError):
     """The inference engine failed while solving an AI query."""
 

@@ -21,13 +21,59 @@ class Metrics:
     Counters are named with dotted paths (``"remote.requests"``,
     ``"cache.hits.subsumed"``).  Components only ever increment counters;
     reports aggregate by prefix.
+
+    A ledger can be subdivided into named child **scopes** (one per server
+    session, say): a scope is itself a ``Metrics`` whose increments also
+    flow into every ancestor, so the parent always holds the aggregate
+    while each scope holds only its own share.  Two components given two
+    different scopes can therefore never pollute each other's numbers.
     """
 
     counters: Counter = field(default_factory=Counter)
+    #: Dotted path of this ledger within its registry ("" for a root).
+    scope_name: str = ""
+    parent: "Metrics | None" = field(default=None, repr=False, compare=False)
+    _children: dict[str, "Metrics"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def incr(self, name: str, amount: float = 1) -> None:
-        """Increment counter ``name`` by ``amount`` (may be fractional)."""
+        """Increment counter ``name`` by ``amount`` (may be fractional).
+
+        The increment propagates to every ancestor scope, so roots hold
+        aggregates over all their scopes.
+        """
         self.counters[name] += amount
+        if self.parent is not None:
+            self.parent.incr(name, amount)
+
+    # -- scopes --------------------------------------------------------------
+    def scope(self, name: str) -> "Metrics":
+        """The child scope called ``name`` (created on first use).
+
+        Increments recorded in the child also land in this ledger (and its
+        ancestors); the child's own counters cover only its share.
+        """
+        existing = self._children.get(name)
+        if existing is not None:
+            return existing
+        child = Metrics(
+            scope_name=f"{self.scope_name}.{name}" if self.scope_name else name,
+            parent=self,
+        )
+        self._children[name] = child
+        return child
+
+    def scopes(self) -> dict[str, "Metrics"]:
+        """All direct child scopes, by name."""
+        return dict(self._children)
+
+    def drop_scope(self, name: str) -> None:
+        """Detach the child scope ``name`` (its past increments remain in
+        this ledger's aggregate; future ones no longer propagate here)."""
+        child = self._children.pop(name, None)
+        if child is not None:
+            child.parent = None
 
     def get(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -47,8 +93,10 @@ class Metrics:
         return sum(self.by_prefix(prefix).values())
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (in this ledger and every child scope)."""
         self.counters.clear()
+        for child in self._children.values():
+            child.reset()
 
     def snapshot(self) -> dict[str, float]:
         """An immutable copy of all counters, sorted by name."""
@@ -97,7 +145,15 @@ CACHE_PREFETCHES = "cache.prefetches"
 CACHE_GENERALIZATIONS = "cache.generalizations"
 CACHE_INDEX_BUILDS = "cache.index_builds"
 CACHE_TUPLES_PROCESSED = "cache.tuples_processed"
+CACHE_PIN_DEFERRALS = "cache.pin_deferrals"
+CACHE_STALE_REPLANS = "cache.stale_replans"
 IE_INFERENCE_STEPS = "ie.inference_steps"
 IE_CAQL_QUERIES = "ie.caql_queries"
 LAZY_TUPLES_PRODUCED = "lazy.tuples_produced"
 EAGER_TUPLES_PRODUCED = "eager.tuples_produced"
+SERVER_SESSIONS_OPENED = "server.sessions_opened"
+SERVER_SESSIONS_CLOSED = "server.sessions_closed"
+SERVER_REQUESTS_ACCEPTED = "server.requests.accepted"
+SERVER_REQUESTS_REJECTED = "server.requests.rejected"
+SERVER_REQUESTS_COMPLETED = "server.requests.completed"
+SERVER_SCHEDULER_STEPS = "server.scheduler_steps"

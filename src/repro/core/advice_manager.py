@@ -26,7 +26,6 @@ from repro.advice.path_expression import (
     Alternation,
     PathExpr,
     QueryPattern,
-    Sequence,
     sequence_companions,
 )
 from repro.advice.tracker import PathTracker

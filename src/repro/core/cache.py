@@ -19,9 +19,10 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.common.errors import CacheCapacityError, CacheError
+from repro.common.metrics import CACHE_PIN_DEFERRALS, Metrics
 from repro.relational.generator import GeneratorRelation
 from repro.relational.index import IndexSet
 from repro.relational.relation import Relation
@@ -41,11 +42,32 @@ class CacheElement:
     sequence: int = 0  # LRU clock value of the last touch
     use_count: int = 0
     uses: set[str] = field(default_factory=set)
-    pinned: bool = False  # temporarily exempt from eviction (in-flight use)
+    #: Active pins (in-flight uses); a pinned element is exempt from
+    #: eviction and its reclamation is deferred until the last unpin.
+    pin_count: int = 0
+    #: Cache epoch at which this element was stored (staleness tag).
+    epoch: int = 0
+    #: Logically discarded while pinned: invisible to lookups, reclaimed
+    #: for real when the last pin is released.
+    condemned: bool = False
     #: Advice predicted no further use: first in line for eviction.
     expendable: bool = False
     _indexes: IndexSet | None = field(default=None, repr=False)
     _sorted_views: dict | None = field(default=None, repr=False)
+
+    @property
+    def pinned(self) -> bool:
+        """True while at least one in-flight use holds a pin."""
+        return self.pin_count > 0
+
+    @pinned.setter
+    def pinned(self, value: bool) -> None:
+        # Back-compat boolean view over the reference count: True pins the
+        # element (once), False force-releases every pin.
+        if value:
+            self.pin_count = max(1, self.pin_count)
+        else:
+            self.pin_count = 0
 
     @property
     def is_generator(self) -> bool:
@@ -126,17 +148,28 @@ class Cache:
     path expression is being tracked.
     """
 
-    def __init__(self, capacity_bytes: int = 4_000_000):
+    def __init__(self, capacity_bytes: int = 4_000_000, metrics: Metrics | None = None):
         if capacity_bytes <= 0:
             raise CacheError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.metrics = metrics
         self._elements: dict[str, CacheElement] = {}
+        #: Discarded-while-pinned elements: logically gone (no lookups),
+        #: physically resident until the last pin is released.
+        self._condemned: dict[str, CacheElement] = {}
         self._by_predicate: dict[str, set[str]] = {}
         self._by_key: dict[tuple, str] = {}
         self._clock = itertools.count(1)
         self._ids = itertools.count(1)
         self.scorer: EvictionScorer = lru_scorer
         self.eviction_count = 0
+        #: Bumped on every store/discard; plans tagged with an older epoch
+        #: must re-validate their matched elements before executing.
+        self.epoch = 0
+        #: Elements whose storage was actually released — immediately for
+        #: unpinned discards, on the last unpin for condemned ones; each
+        #: element counts exactly once.
+        self.reclaim_count = 0
 
     # -- storage ---------------------------------------------------------------
     def store(
@@ -161,11 +194,13 @@ class Cache:
                 element.uses.add(use)
             return element
 
+        self.epoch += 1
         element = CacheElement(
             element_id=f"E{next(self._ids)}",
             definition=definition,
             relation=relation,
             sequence=next(self._clock),
+            epoch=self.epoch,
         )
         if use:
             element.uses.add(use)
@@ -177,10 +212,17 @@ class Cache:
         return element
 
     def discard(self, element_id: str) -> None:
-        """Remove an element and its index entries (no-op if absent)."""
+        """Remove an element and its index entries (no-op if absent).
+
+        A pinned element is *condemned* instead: it disappears from every
+        lookup structure immediately (new queries cannot find it) but its
+        storage stays accounted until the last pin is released, at which
+        point it is reclaimed exactly once.
+        """
         element = self._elements.pop(element_id, None)
         if element is None:
             return
+        self.epoch += 1
         self._by_key.pop(element.definition.canonical_key(), None)
         for pred in set(element.definition.predicates()):
             members = self._by_predicate.get(pred)
@@ -188,6 +230,36 @@ class Cache:
                 members.discard(element_id)
                 if not members:
                     del self._by_predicate[pred]
+        if element.pin_count > 0:
+            element.condemned = True
+            self._condemned[element_id] = element
+            if self.metrics is not None:
+                self.metrics.incr(CACHE_PIN_DEFERRALS)
+        else:
+            self.reclaim_count += 1
+
+    # -- concurrency control ------------------------------------------------------
+    def pin(self, element: CacheElement) -> None:
+        """Take a reference on ``element``: exempt from eviction, and its
+        reclamation is deferred until the matching :meth:`unpin`."""
+        element.pin_count += 1
+
+    def unpin(self, element: CacheElement) -> None:
+        """Release one pin; reclaims a condemned element on the last one."""
+        if element.pin_count <= 0:
+            raise CacheError(
+                f"unpin of {element.element_id} without a matching pin"
+            )
+        element.pin_count -= 1
+        if element.pin_count == 0 and element.condemned:
+            if self._condemned.pop(element.element_id, None) is not None:
+                self.reclaim_count += 1
+
+    def validate(self, element: CacheElement) -> bool:
+        """True while ``element`` is still the live entry for its id —
+        i.e. it has not been evicted, condemned, or replaced since it was
+        matched (epoch-tagged invalidation for in-flight plans)."""
+        return self._elements.get(element.element_id) is element
 
     def _make_room(self, incoming_bytes: int, exempt: set[str]) -> None:
         if incoming_bytes > self.capacity_bytes:
@@ -250,14 +322,23 @@ class Cache:
 
     # -- accounting ----------------------------------------------------------------
     def used_bytes(self) -> int:
-        """Summed size estimates of all stored elements."""
-        return sum(e.estimated_bytes() for e in self._elements.values())
+        """Summed size estimates of all resident elements (condemned ones
+        still occupy their storage until the last pin is released)."""
+        return sum(e.estimated_bytes() for e in self._elements.values()) + sum(
+            e.estimated_bytes() for e in self._condemned.values()
+        )
+
+    def condemned_elements(self) -> list[CacheElement]:
+        """Elements awaiting reclamation (discarded while pinned)."""
+        return list(self._condemned.values())
 
     def clear(self) -> None:
-        """Drop every element and index entry."""
+        """Drop every element and index entry (pins notwithstanding)."""
         self._elements.clear()
+        self._condemned.clear()
         self._by_predicate.clear()
         self._by_key.clear()
+        self.epoch += 1
 
 
 class StaleArchive:

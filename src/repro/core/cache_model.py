@@ -24,6 +24,8 @@ CACHE_MODEL_SCHEMA = Schema(
         "use_count",   # touches since creation
         "uses",        # comma-joined named uses (Section 5.2)
         "pinned",      # 1 when exempt from replacement
+        "pin_count",   # active in-flight references
+        "epoch",       # cache epoch at which the element was stored
     ),
 )
 
@@ -43,6 +45,8 @@ def cache_model(cache: Cache) -> Relation:
                 element.use_count,
                 ",".join(sorted(element.uses)),
                 1 if element.pinned else 0,
+                element.pin_count,
+                element.epoch,
             )
         )
     return Relation(CACHE_MODEL_SCHEMA, rows)

@@ -30,6 +30,7 @@ from repro.common.errors import (
     CacheCapacityError,
     PlanningError,
     RemoteDBMSError,
+    StalePlanError,
     TranslationError,
 )
 from repro.common.metrics import (
@@ -39,6 +40,7 @@ from repro.common.metrics import (
     CACHE_INDEX_BUILDS,
     CACHE_MISSES,
     CACHE_PREFETCHES,
+    CACHE_STALE_REPLANS,
     IE_CAQL_QUERIES,
     REMOTE_DEGRADED_ANSWERS,
     Metrics,
@@ -64,7 +66,6 @@ from repro.caql.eval import (
     evaluate_aggregate,
     evaluate_quantified,
     evaluate_setof,
-    result_schema,
 )
 from repro.caql.psj import PSJQuery, psj_from_literals
 from repro.core.advice_manager import AdviceManager
@@ -118,15 +119,28 @@ class CacheManagementSystem:
         capacity_bytes: int = 4_000_000,
         features: CMSFeatures | None = None,
         builtins: BuiltinRegistry | None = None,
+        cache: Cache | None = None,
+        metrics: Metrics | None = None,
+        pin_streams: bool = False,
     ):
         self.remote = remote
         self.clock: SimClock = remote.clock
-        self.metrics: Metrics = remote.metrics
+        #: The ledger this CMS records into.  Defaults to the remote's
+        #: (single-session behaviour); a multi-session server hands every
+        #: session its own child scope of one shared registry, so two CMS
+        #: instances never pollute each other's numbers.
+        self.metrics: Metrics = metrics if metrics is not None else remote.metrics
         self.profile: CostProfile = remote.profile
         self.features = features if features is not None else CMSFeatures()
         self.builtins = builtins if builtins is not None else BuiltinRegistry()
 
-        self.cache = Cache(capacity_bytes)
+        #: ``cache`` may be shared between several CMS instances (the
+        #: multi-session server's whole point); each instance still owns
+        #: its advice context, planner, and monitor.
+        self.cache = (
+            cache if cache is not None else Cache(capacity_bytes, metrics=self.metrics)
+        )
+        self.shares_cache = cache is not None
         self.advice_manager = AdviceManager()
         self.rdi = RemoteInterface(
             remote, self.features.buffer_size, self.features.retry_policy
@@ -153,6 +167,7 @@ class CacheManagementSystem:
             self.metrics,
             parallel=self.features.parallel,
             should_index=self._should_auto_index,
+            pin_streams=pin_streams,
         )
 
     def _should_auto_index(self, view_name: str) -> bool:
@@ -174,6 +189,16 @@ class CacheManagementSystem:
         else:
             logger.debug("session: no advice")
         self.advice_manager.begin_session(advice)
+        self.activate()
+
+    def activate(self) -> None:
+        """Install this session's replacement scorer on the cache.
+
+        With a private cache this runs once per ``begin_session``; with a
+        shared cache the server calls it before every scheduled step, so
+        replacement decisions always follow the advice of the session
+        whose query is running.
+        """
         if self.features.advice_replacement:
             self.cache.scorer = self.advice_manager.replacement_scorer()
         else:
@@ -308,7 +333,16 @@ class CacheManagementSystem:
         logger.debug("plan[%s] for %s%s", plan.strategy, psj.name,
                      " (lazy)" if plan.lazy else "")
         try:
-            result = self.monitor.execute(plan)
+            try:
+                result = self.monitor.execute(plan)
+            except StalePlanError:
+                # A concurrent session retired a matched element between
+                # planning and execution (epoch-tagged invalidation):
+                # replan once against the current cache state.
+                self.metrics.incr(CACHE_STALE_REPLANS)
+                logger.debug("stale plan for %s: replanning", psj.name)
+                plan = self.planner.plan(psj)
+                result = self.monitor.execute(plan)
         except RemoteDBMSError as error:
             # Retries are exhausted (or the breaker is open): degrade to
             # whatever the cache can still prove, rather than propagating

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.common.clock import CostProfile, SimClock
-from repro.common.errors import PlanningError
+from repro.common.errors import PlanningError, StalePlanError
 from repro.common.metrics import (
     CACHE_TUPLES_PROCESSED,
     EAGER_TUPLES_PRODUCED,
@@ -108,6 +108,7 @@ class ExecutionMonitor:
         metrics: Metrics,
         parallel: bool = True,
         should_index=None,
+        pin_streams: bool = False,
     ):
         self.cache = cache
         self.rdi = rdi
@@ -119,6 +120,12 @@ class ExecutionMonitor:
         #: matched element's probe attributes?  (Consumer-annotation
         #: advice; Section 5.3.3's "index E12 on the third attribute".)
         self.should_index = should_index if should_index is not None else (lambda _name: False)
+        #: Hold a pin on the backing element for the lifetime of a lazy
+        #: result stream (released when the stream drains).  Enabled by the
+        #: multi-session server, whose drain phase guarantees every stream
+        #: is consumed; left off for direct single-session use, where the
+        #: IE may abandon a stream and the pin would block eviction forever.
+        self.pin_streams = pin_streams
 
     # -- cost helpers ----------------------------------------------------------------
     def _charge_local(self, tuples: int) -> None:
@@ -127,7 +134,32 @@ class ExecutionMonitor:
 
     # -- execution ---------------------------------------------------------------------
     def execute(self, plan: QueryPlan) -> Relation | GeneratorRelation:
-        """Run a query plan; returns the result relation or generator."""
+        """Run a query plan; returns the result relation or generator.
+
+        Every cache element the plan reads is pinned for the duration of
+        the call (and, for lazy results with :attr:`pin_streams`, for the
+        stream's lifetime), so a concurrent session's replacement pass can
+        never reclaim an element mid-execution.  A plan whose elements were
+        invalidated since planning raises :class:`StalePlanError` so the
+        caller can replan against the current cache state.
+        """
+        elements = plan.cache_elements()
+        if plan.epoch >= 0 and plan.epoch != self.cache.epoch:
+            for element in elements:
+                if not self.cache.validate(element):
+                    raise StalePlanError(
+                        f"plan for {plan.query.name} references retired cache "
+                        f"element {element.element_id}"
+                    )
+        for element in elements:
+            self.cache.pin(element)
+        try:
+            return self._dispatch(plan)
+        finally:
+            for element in elements:
+                self.cache.unpin(element)
+
+    def _dispatch(self, plan: QueryPlan) -> Relation | GeneratorRelation:
         strategy = plan.strategy
         if strategy == "unsatisfiable":
             return Relation(result_schema(plan.query.name, plan.query.arity))
@@ -141,6 +173,22 @@ class ExecutionMonitor:
             return self._execute_parts(plan)
         raise PlanningError(f"unknown plan strategy: {strategy}")
 
+    def _pin_for_stream(self, element, relation) -> None:
+        """Keep ``element`` pinned until the lazy ``relation`` drains."""
+        if not self.pin_streams:
+            return
+        if not isinstance(relation, GeneratorRelation) or relation.exhausted:
+            return
+        self.cache.pin(element)
+        previous = relation.on_exhausted
+
+        def release() -> None:
+            self.cache.unpin(element)
+            if previous is not None:
+                previous()
+
+        relation.on_exhausted = release
+
     def _unit_result(self, query: PSJQuery) -> Relation:
         schema = result_schema(query.name, query.arity)
         row = tuple(
@@ -152,9 +200,10 @@ class ExecutionMonitor:
     def _execute_exact(self, plan: QueryPlan) -> Relation | GeneratorRelation:
         element = self.cache.lookup_exact(plan.query)
         if element is None:
-            raise PlanningError("exact plan but the element vanished")
+            raise StalePlanError("exact plan but the element vanished")
         self.cache.touch(element)
         self._charge_local(element.rows_materialized())
+        self._pin_for_stream(element, element.relation)
         return element.relation
 
     def _execute_cache_full(self, plan: QueryPlan) -> Relation | GeneratorRelation:
@@ -165,6 +214,7 @@ class ExecutionMonitor:
         if plan.lazy:
             gen = derive_full_lazy(match, plan.query)
             gen.on_produce = self._on_lazy_tuple
+            self._pin_for_stream(match.element, gen)
             return gen
         result, touched = self._derive_full_indexed(match, plan.query)
         self._charge_local(touched + len(result))

@@ -72,12 +72,26 @@ class QueryPlan:
     #: Extra PSJ queries to fetch and cache ahead of need (prefetch and
     #: generalization both surface here).
     prefetches: tuple[PSJQuery, ...] = ()
+    #: Cache epoch at planning time.  When the cache has moved on by
+    #: execution time the executor re-validates every matched element and
+    #: raises :class:`~repro.common.errors.StalePlanError` if one is gone.
+    epoch: int = -1
     notes: list[str] = field(default_factory=list)
 
     @property
     def touches_remote(self) -> bool:
         """True when any part needs the remote DBMS."""
         return any(isinstance(p, RemotePart) for p in self.parts)
+
+    def cache_elements(self):
+        """Every cache element this plan reads (full match + cache parts)."""
+        elements = []
+        if self.full_match is not None:
+            elements.append(self.full_match.element)
+        for part in self.parts:
+            if isinstance(part, CachePart):
+                elements.append(part.match.element)
+        return elements
 
     def describe(self) -> str:
         """A readable multi-line rendering of the plan."""

@@ -73,7 +73,17 @@ class QueryPlanner:
 
     # -- entry point -------------------------------------------------------------
     def plan(self, query: PSJQuery) -> QueryPlan:
-        """Produce a plan for one PSJ query (the QPO's three steps)."""
+        """Produce a plan for one PSJ query (the QPO's three steps).
+
+        The plan is tagged with the cache epoch at planning time; an
+        executor seeing a newer epoch re-validates the matched elements,
+        which makes planning safe under multi-session interleaving.
+        """
+        plan = self._plan(query)
+        plan.epoch = self.cache.epoch
+        return plan
+
+    def _plan(self, query: PSJQuery) -> QueryPlan:
         if query.unsatisfiable:
             return QueryPlan(query, "unsatisfiable", cache_result=False)
         if not query.occurrences:

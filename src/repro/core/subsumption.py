@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.relational.expressions import Col, Comparison
+from repro.relational.expressions import Comparison
 from repro.relational.generator import GeneratorRelation
 from repro.relational.operators import select, select_iter
 from repro.relational.relation import Relation

@@ -36,7 +36,6 @@ from repro.ie.problem_graph import (
     DATABASE,
     RECURSIVE_REF,
     UNKNOWN,
-    USER,
     AndNode,
     OrNode,
 )

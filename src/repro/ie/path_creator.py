@@ -36,7 +36,6 @@ from repro.advice.path_expression import (
 from repro.advice.view_spec import Binding, ViewSpecification
 from repro.ie.problem_graph import (
     BUILTIN,
-    DATABASE,
     RECURSIVE_REF,
     USER,
     AndNode,

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import KnowledgeBaseError
-from repro.logic.terms import Atom, Const, Substitution, Var
+from repro.logic.terms import Atom, Const, Substitution
 from repro.logic.unify import unify
 
 

@@ -29,7 +29,15 @@ RowSource = Callable[[], Iterator[tuple]]
 class GeneratorRelation:
     """A lazily evaluated relation with a memoized prefix."""
 
-    __slots__ = ("schema", "_source", "_iterator", "_memo", "_exhausted", "on_produce")
+    __slots__ = (
+        "schema",
+        "_source",
+        "_iterator",
+        "_memo",
+        "_exhausted",
+        "on_produce",
+        "on_exhausted",
+    )
 
     def __init__(self, schema: Schema, source: RowSource):
         self.schema = schema
@@ -39,6 +47,9 @@ class GeneratorRelation:
         self._exhausted = False
         #: Optional callback fired for each newly produced row (metrics hook).
         self.on_produce: Callable[[tuple], None] | None = None
+        #: Optional callback fired once when the source drains (the cache
+        #: uses it to release pins held for the stream's lifetime).
+        self.on_exhausted: Callable[[], None] | None = None
 
     # -- production -------------------------------------------------------------
     def _pull(self) -> tuple | None:
@@ -56,6 +67,9 @@ class GeneratorRelation:
                 return row
         self._exhausted = True
         self._iterator = None
+        if self.on_exhausted is not None:
+            callback, self.on_exhausted = self.on_exhausted, None
+            callback()
         return None
 
     def __iter__(self) -> Iterator[tuple]:

@@ -13,7 +13,7 @@ capabilities the CMS adds on the workstation side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import RemoteDBMSError, UnknownRelationError
 from repro.relational.expressions import Col, Comparison, Lit

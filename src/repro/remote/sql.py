@@ -12,7 +12,7 @@ executes and what logs show.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.common.errors import TranslationError

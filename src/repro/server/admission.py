@@ -1,0 +1,93 @@
+"""Admission control: bounded queueing and backpressure.
+
+A server in front of a shared cache has two saturation surfaces: the
+total backlog it is willing to hold (memory), and how much of the
+scheduler one session may occupy at once (fairness).  Both are enforced
+here, before any work is done:
+
+* the **request queue bound** caps pending requests across all sessions —
+  a submit beyond it is rejected immediately with a typed
+  :class:`~repro.common.errors.ServerOverloadError`, which is the
+  backpressure signal clients retry/back off on;
+* the **per-session in-flight limit** caps how many of one session's
+  requests may be started-but-undrained at once, so a client that floods
+  the server cannot monopolize scheduler steps or pin unbounded cache
+  state mid-stream.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ServerOverloadError
+from repro.common.metrics import (
+    SERVER_REQUESTS_ACCEPTED,
+    SERVER_REQUESTS_REJECTED,
+    Metrics,
+)
+from repro.server.session import Session
+
+
+class AdmissionController:
+    """Decides, per request, whether the server takes on more work."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 256,
+        max_inflight_per_session: int = 4,
+        metrics: Metrics | None = None,
+    ):
+        if max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if max_inflight_per_session <= 0:
+            raise ValueError("max_inflight_per_session must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_session = max_inflight_per_session
+        self.metrics = metrics if metrics is not None else Metrics()
+        #: Pending (admitted, unfinished) requests across all sessions.
+        self.queued = 0
+
+    # -- admission --------------------------------------------------------------
+    def admit(self, session: Session) -> None:
+        """Account one incoming request; raises when the server is full.
+
+        Rejection is *before* enqueue — an overloaded server does cheap
+        bookkeeping only, never planning or remote work, for a request it
+        cannot hold.
+        """
+        if self.queued >= self.max_queue_depth:
+            self.metrics.incr(SERVER_REQUESTS_REJECTED)
+            raise ServerOverloadError(
+                f"request queue full ({self.queued}/{self.max_queue_depth}); "
+                f"session {session.name!r} must back off",
+                queue_depth=self.queued,
+                max_queue_depth=self.max_queue_depth,
+            )
+        self.queued += 1
+        self.metrics.incr(SERVER_REQUESTS_ACCEPTED)
+
+    def release(self) -> None:
+        """Account one finished (or abandoned) request."""
+        if self.queued <= 0:
+            raise ValueError("release without a matching admit")
+        self.queued -= 1
+
+    # -- eligibility ------------------------------------------------------------
+    def may_start(self, session: Session) -> bool:
+        """May the scheduler start another of this session's requests?
+
+        False while the session sits at its in-flight limit; it can still
+        be scheduled to *drain* (draining reduces in-flight, so progress
+        is always possible).
+        """
+        return len(session.in_flight) < self.max_inflight_per_session
+
+    def is_eligible(self, session: Session) -> bool:
+        """Does this session have any step the scheduler could run now?"""
+        if not session.open:
+            return False
+        if session.in_flight:
+            return True
+        return bool(session.backlog) and self.may_start(session)
+
+    def utilization(self) -> float:
+        """Queue fill fraction (the overload signal clients can poll)."""
+        return self.queued / self.max_queue_depth

@@ -1,0 +1,294 @@
+"""The multi-session BrAID server.
+
+Ties the pieces together: a :class:`SessionManager` (named IE sessions,
+each with private advice and metrics, all over one shared cache), an
+:class:`AdmissionController` (bounded queue, typed overload rejections,
+per-session in-flight limits), and a deterministic cooperative
+:class:`Scheduler` (round-robin or weighted-fair) that interleaves
+session steps on the shared :class:`SimClock`.
+
+A request's life:
+
+1. ``submit(session, query)`` — admission control; rejected with
+   :class:`ServerOverloadError` when the queue bound is hit, otherwise
+   queued on the session's backlog stamped with the current simulated
+   time;
+2. an **execute** step — the scheduler picks the session, the session's
+   CMS plans and runs the query (cache elements it reads are pinned;
+   lazy results hold their pins until drained);
+3. a **drain** step — the stream is consumed and the request completes;
+   latency is drain-time minus submit-time, so waiting behind other
+   sessions' steps counts, which is what fairness policies bound.
+
+Steps from different sessions interleave between a request's execute and
+drain — exactly the window where one session's replacement could trash
+another session's in-flight stream, and exactly what cache pinning and
+epoch-tagged invalidation make safe.
+
+Everything is deterministic: same seed, sessions, and submissions →
+byte-identical schedule traces and per-session results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import BraidError, ServerError
+from repro.common.metrics import (
+    SERVER_REQUESTS_COMPLETED,
+    SERVER_SCHEDULER_STEPS,
+    Metrics,
+)
+from repro.advice.language import AdviceSet
+from repro.caql.ast import CAQLQuery
+from repro.relational.relation import Relation
+from repro.remote.server import RemoteDBMS
+from repro.remote.sqlite_backend import SqliteEngine
+from repro.core.cache import Cache
+from repro.core.cms import CMSFeatures
+from repro.server.admission import AdmissionController
+from repro.server.scheduler import POLICIES, Scheduler
+from repro.server.session import Request, Session, SessionManager
+
+
+@dataclass
+class ServerConfig:
+    """Construction-time options for a BrAID server."""
+
+    cache_capacity_bytes: int = 4_000_000
+    features: CMSFeatures | None = None
+    backend: str = "pure"  # or "sqlite"
+    profile: CostProfile | None = None
+    scheduler_policy: str = "round-robin"  # or "weighted-fair"
+    scheduler_seed: int = 0
+    max_queue_depth: int = 256
+    max_inflight_per_session: int = 4
+
+    def __post_init__(self) -> None:
+        if self.scheduler_policy not in POLICIES:
+            raise ServerError(
+                f"unknown scheduler policy {self.scheduler_policy!r}; "
+                f"have {POLICIES}"
+            )
+
+
+@dataclass
+class StepRecord:
+    """One scheduler decision, for the reproducible schedule trace."""
+
+    index: int
+    phase: str  # "execute" | "drain"
+    session: str
+    request_id: str
+    clock: float
+
+    def line(self) -> str:
+        return f"{self.index}|{self.phase}|{self.session}|{self.request_id}|{self.clock:.9f}"
+
+
+class BraidServer:
+    """A shared CMS serving many concurrent IE sessions."""
+
+    def __init__(
+        self,
+        tables: list[Relation] | None = None,
+        config: ServerConfig | None = None,
+        remote: RemoteDBMS | None = None,
+        pin_streams: bool = True,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        if remote is not None:
+            self.remote = remote
+        else:
+            engine = SqliteEngine() if self.config.backend == "sqlite" else None
+            if self.config.backend not in ("pure", "sqlite"):
+                raise ServerError(f"unknown backend {self.config.backend!r}")
+            profile = (
+                self.config.profile
+                if self.config.profile is not None
+                else CostProfile()
+            )
+            self.remote = RemoteDBMS(engine=engine, profile=profile)
+        for table in tables or []:
+            self.remote.load_table(table)
+
+        self.clock: SimClock = self.remote.clock
+        self.metrics: Metrics = self.remote.metrics
+        self.cache = Cache(self.config.cache_capacity_bytes, metrics=self.metrics)
+        self.sessions = SessionManager(
+            self.remote,
+            self.cache,
+            features=self.config.features,
+            metrics=self.metrics,
+            pin_streams=pin_streams,
+        )
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            max_inflight_per_session=self.config.max_inflight_per_session,
+            metrics=self.metrics,
+        )
+        self.scheduler = Scheduler(
+            policy=self.config.scheduler_policy,
+            seed=self.config.scheduler_seed,
+        )
+        self.schedule_trace: list[StepRecord] = []
+
+    # -- session lifecycle --------------------------------------------------------
+    def open_session(
+        self,
+        name: str,
+        advice: AdviceSet | None = None,
+        weight: float = 1.0,
+    ) -> Session:
+        """Open a named IE session (its advice context starts now)."""
+        session = self.sessions.open(name, advice=advice, weight=weight)
+        self.scheduler.note_session(session)
+        return session
+
+    def close_session(self, name: str) -> Session:
+        """Close a session, abandoning whatever it still had pending."""
+        session = self.sessions.get(name)
+        abandoned = session.pending_count
+        closed = self.sessions.close(name)
+        for _ in range(abandoned):
+            self.admission.release()
+        self.scheduler.forget_session(name)
+        return closed
+
+    # -- the request interface ----------------------------------------------------
+    def submit(self, session_name: str, query: CAQLQuery) -> Request:
+        """Queue one CAQL query for a session; may raise ServerOverloadError."""
+        session = self.sessions.get(session_name)
+        self.admission.admit(session)
+        request = Request(
+            request_id=session.new_request_id(),
+            session_name=session.name,
+            query=query,
+            submitted_at=self.clock.now,
+        )
+        session.backlog.append(request)
+        return request
+
+    def step(self) -> bool:
+        """Run one scheduler step; False when no session has runnable work."""
+        eligible = [
+            s for s in self.sessions.sessions() if self.admission.is_eligible(s)
+        ]
+        if not eligible:
+            return False
+        session = self.scheduler.pick(eligible)
+        # The running session's advice governs shared-cache replacement
+        # for the duration of its step.
+        session.activate()
+        if session.backlog and self.admission.may_start(session):
+            request = session.backlog.popleft()
+            self._execute(session, request)
+            phase = "execute"
+        else:
+            request = session.in_flight.popleft()
+            self._drain(session, request)
+            phase = "drain"
+        self.metrics.incr(SERVER_SCHEDULER_STEPS)
+        self.schedule_trace.append(
+            StepRecord(
+                index=len(self.schedule_trace),
+                phase=phase,
+                session=session.name,
+                request_id=request.request_id,
+                clock=self.clock.now,
+            )
+        )
+        return True
+
+    def run_until_idle(self, max_steps: int | None = None) -> int:
+        """Step until nothing is runnable; returns the number of steps."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return steps
+
+    def results(self, session_name: str) -> list[Request]:
+        """Completed requests of an open session, in completion order."""
+        return list(self.sessions.get(session_name).completed)
+
+    # -- step phases --------------------------------------------------------------
+    def _execute(self, session: Session, request: Request) -> None:
+        request.started_at = self.clock.now
+        try:
+            request.stream = session.cms.query(request.query)
+        except BraidError as error:
+            self._finish(session, request, error=error)
+            return
+        session.in_flight.append(request)
+
+    def _drain(self, session: Session, request: Request) -> None:
+        try:
+            assert request.stream is not None
+            request.rows = request.stream.fetch_all()
+            request.degraded = request.stream.degraded
+        except BraidError as error:
+            self._finish(session, request, error=error)
+            return
+        self._finish(session, request)
+
+    def _finish(
+        self, session: Session, request: Request, error: BraidError | None = None
+    ) -> None:
+        request.completed_at = self.clock.now
+        if error is not None:
+            request.error = f"{type(error).__name__}: {error}"
+        session.completed.append(request)
+        self.admission.release()
+        self.metrics.incr(SERVER_REQUESTS_COMPLETED)
+
+    # -- reproducibility artifacts --------------------------------------------------
+    def schedule_lines(self) -> list[str]:
+        """The schedule trace as stable text lines."""
+        return [record.line() for record in self.schedule_trace]
+
+    def schedule_fingerprint(self) -> str:
+        """SHA-256 over the schedule trace: equal across same-seed runs."""
+        digest = hashlib.sha256()
+        for line in self.schedule_lines():
+            digest.update(line.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def session_results_snapshot(self) -> dict[str, list[tuple]]:
+        """Canonical per-session results, for byte-identical comparisons."""
+        snapshot: dict[str, list[tuple]] = {}
+        for session in self.sessions.sessions():
+            snapshot[session.name] = [
+                (
+                    request.request_id,
+                    request.query.name,
+                    request.latency,
+                    request.degraded,
+                    request.error,
+                    tuple(request.rows) if request.rows is not None else None,
+                )
+                for request in session.completed
+            ]
+        return snapshot
+
+    # -- fairness ---------------------------------------------------------------------
+    def fairness_report(self) -> dict[str, object]:
+        """Per-session latency summaries plus the max/min mean-latency ratio."""
+        per_session: dict[str, dict[str, float]] = {}
+        means = []
+        for session in self.sessions.sessions():
+            summary = session.latency_summary()
+            per_session[session.name] = summary
+            if summary["completed"]:
+                means.append(summary["mean_latency"])
+        ratio = (max(means) / min(means)) if means and min(means) > 0 else 1.0
+        return {
+            "sessions": per_session,
+            "max_min_latency_ratio": ratio,
+            "steps": len(self.schedule_trace),
+            "queue_utilization": self.admission.utilization(),
+        }

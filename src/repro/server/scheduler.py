@@ -1,0 +1,124 @@
+"""Deterministic cooperative scheduling of session steps.
+
+The server is single-threaded on the simulated clock: concurrency is
+*cooperative interleaving* of per-session steps (execute one query, or
+drain one result stream), which keeps every run exactly reproducible —
+the same seed and submissions yield byte-identical schedules.
+
+Two policies:
+
+* **round-robin** — sessions take turns in opening order; a session with
+  nothing runnable is skipped.  Simple, and fair in steps.
+* **weighted-fair** — stride scheduling: each session advances a virtual
+  *pass* by ``stride = K / weight`` per step it receives, and the lowest
+  pass runs next.  A weight-2 session gets twice the steps of a weight-1
+  session over any window; sessions joining late start at the current
+  minimum pass so they neither starve nor monopolize.
+
+Ties (equal pass values) are broken by a seeded RNG over the tied names
+in sorted order, so even the tie-breaks replay identically run to run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ServerError
+from repro.server.session import Session
+
+#: Stride numerator: pass advances by STRIDE_SCALE / weight per step.
+STRIDE_SCALE = 1 << 20
+
+#: The selectable policy names.
+POLICIES = ("round-robin", "weighted-fair")
+
+
+class RoundRobinPolicy:
+    """Take turns in opening order, skipping unrunnable sessions."""
+
+    def __init__(self, seed: int = 0):
+        self._order: list[str] = []
+        self._cursor = 0
+
+    def note_session(self, session: Session) -> None:
+        if session.name not in self._order:
+            self._order.append(session.name)
+
+    def forget_session(self, name: str) -> None:
+        if name in self._order:
+            index = self._order.index(name)
+            self._order.remove(name)
+            if index < self._cursor:
+                self._cursor -= 1
+            if self._order:
+                self._cursor %= len(self._order)
+            else:
+                self._cursor = 0
+
+    def pick(self, eligible: list[Session]) -> Session:
+        by_name = {session.name: session for session in eligible}
+        for offset in range(len(self._order)):
+            index = (self._cursor + offset) % len(self._order)
+            session = by_name.get(self._order[index])
+            if session is not None:
+                self._cursor = (index + 1) % len(self._order)
+                return session
+        raise ServerError("round-robin pick from an empty eligible set")
+
+
+class WeightedFairPolicy:
+    """Stride scheduling: lowest virtual pass runs next."""
+
+    def __init__(self, seed: int = 0):
+        self._pass: dict[str, float] = {}
+        self._rng = random.Random(seed)
+
+    def note_session(self, session: Session) -> None:
+        if session.name in self._pass:
+            return
+        # Join at the current minimum so a newcomer neither waits behind
+        # everyone's accumulated pass nor gets an unbounded catch-up burst.
+        floor = min(self._pass.values()) if self._pass else 0.0
+        self._pass[session.name] = floor
+
+    def forget_session(self, name: str) -> None:
+        self._pass.pop(name, None)
+
+    def pick(self, eligible: list[Session]) -> Session:
+        best = min(self._pass[s.name] for s in eligible)
+        tied = sorted(
+            (s for s in eligible if self._pass[s.name] == best),
+            key=lambda s: s.name,
+        )
+        session = tied[0] if len(tied) == 1 else tied[self._rng.randrange(len(tied))]
+        self._pass[session.name] += STRIDE_SCALE / session.weight
+        return session
+
+
+class Scheduler:
+    """Policy wrapper: tracks sessions and picks the next one to step."""
+
+    def __init__(self, policy: str = "round-robin", seed: int = 0):
+        if policy not in POLICIES:
+            raise ServerError(f"unknown scheduler policy {policy!r}; have {POLICIES}")
+        self.policy_name = policy
+        self.seed = seed
+        self._policy = (
+            RoundRobinPolicy(seed)
+            if policy == "round-robin"
+            else WeightedFairPolicy(seed)
+        )
+
+    def note_session(self, session: Session) -> None:
+        """Register a session with the policy (idempotent)."""
+        self._policy.note_session(session)
+
+    def forget_session(self, name: str) -> None:
+        """Drop a closed session from the policy's state."""
+        self._policy.forget_session(name)
+
+    def pick(self, eligible: list[Session]) -> Session:
+        """The session whose step runs next (``eligible`` is non-empty)."""
+        if not eligible:
+            raise ServerError("scheduler pick from an empty eligible set")
+        return self._policy.pick(eligible)

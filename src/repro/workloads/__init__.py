@@ -2,6 +2,11 @@
 
 from repro.workloads.bom import bom
 from repro.workloads.genealogy import genealogy
+from repro.workloads.multisession import (
+    MultiSessionSpec,
+    client_streams,
+    submit_interleaved,
+)
 from repro.workloads.queries import (
     StreamSpec,
     range_query_stream,
@@ -12,14 +17,17 @@ from repro.workloads.synthetic import chain, fanout_graph, selection_universe
 from repro.workloads.workload import Workload
 
 __all__ = [
+    "MultiSessionSpec",
     "StreamSpec",
     "Workload",
     "bom",
     "chain",
+    "client_streams",
     "fanout_graph",
     "genealogy",
     "range_query_stream",
     "repeated_selection_stream",
     "selection_universe",
+    "submit_interleaved",
     "suppliers",
 ]

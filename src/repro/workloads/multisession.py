@@ -1,0 +1,115 @@
+"""Concurrent multi-client workload generation.
+
+Analytic workloads across clients exhibit heavy *semantic repetition*:
+different users ask structurally identical (or subsumable) questions
+about the same hot data.  This module generates per-client CAQL query
+streams with a controlled amount of that repetition:
+
+* a **shared hot pool** of query shapes every client draws from with
+  probability ``shared_fraction`` — the cross-session reuse a shared
+  cache can exploit and isolated per-client caches cannot;
+* a **private pool** per client for the rest — work no other session
+  helps with.
+
+Streams target the :func:`~repro.workloads.synthetic.selection_universe`
+workload (selections over ``item(id, cat, val)`` with category equality
+and value thresholds), and everything is seeded: the same spec yields
+the same streams, query by query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.caql.ast import ConjunctiveQuery
+from repro.caql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class MultiSessionSpec:
+    """Shape parameters for a multi-client query workload."""
+
+    clients: int
+    requests_per_client: int = 8
+    #: Probability that a request is drawn from the shared hot pool.
+    shared_fraction: float = 0.5
+    #: Distinct query shapes in the shared hot pool.
+    hot_pool_size: int = 8
+    #: Distinct query shapes in each client's private pool.
+    private_pool_size: int = 12
+    #: Value domain of the underlying ``selection_universe`` workload.
+    domain: int = 1000
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ValueError("shared_fraction must be within [0, 1]")
+
+
+def _query_pool(rng: random.Random, size: int, domain: int, tag: int) -> list[tuple]:
+    # (cat, threshold) shapes; the tag offsets indices so shared and
+    # private pool queries never share a *name* (names are cosmetic —
+    # cache keys are structural — but distinct names keep traces legible).
+    return [
+        (f"q{tag + i}", f"cat{rng.randrange(10)}", rng.randrange(domain))
+        for i in range(size)
+    ]
+
+
+def client_streams(spec: MultiSessionSpec) -> dict[str, list[ConjunctiveQuery]]:
+    """Per-client query streams, keyed by client name (``c00``, ``c01``, …).
+
+    Shared-pool draws reuse one parsed query object per shape, so two
+    clients drawing the same hot shape issue *structurally identical*
+    queries — exactly what exact-match and subsumption reuse feed on.
+    """
+    pool_rng = random.Random(spec.seed)
+    hot_shapes = _query_pool(pool_rng, spec.hot_pool_size, spec.domain, tag=0)
+    hot_queries = [
+        parse_query(f"{name}(I, V) :- item(I, {cat}, V), V >= {threshold}")
+        for name, cat, threshold in hot_shapes
+    ]
+
+    streams: dict[str, list[ConjunctiveQuery]] = {}
+    for client_index in range(spec.clients):
+        name = f"c{client_index:02d}"
+        client_rng = random.Random(spec.seed * 10_007 + client_index)
+        private_shapes = _query_pool(
+            client_rng,
+            spec.private_pool_size,
+            spec.domain,
+            tag=1000 * (client_index + 1),
+        )
+        stream: list[ConjunctiveQuery] = []
+        for _ in range(spec.requests_per_client):
+            if client_rng.random() < spec.shared_fraction:
+                stream.append(client_rng.choice(hot_queries))
+            else:
+                shape_name, cat, threshold = client_rng.choice(private_shapes)
+                stream.append(
+                    parse_query(
+                        f"{shape_name}(I, V) :- item(I, {cat}, V), V >= {threshold}"
+                    )
+                )
+        streams[name] = stream
+    return streams
+
+
+def submit_interleaved(server, streams: dict[str, list[ConjunctiveQuery]]) -> int:
+    """Submit all streams round-robin (client 0's first, client 1's first, …).
+
+    Interleaved submission order mirrors concurrent arrival; returns the
+    number of submitted requests.  Sessions must already be open under
+    the stream's client names.
+    """
+    submitted = 0
+    depth = max((len(s) for s in streams.values()), default=0)
+    for position in range(depth):
+        for client, stream in streams.items():
+            if position < len(stream):
+                server.submit(client, stream[position])
+                submitted += 1
+    return submitted

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import EvaluationError
 from repro.logic.builtins import BuiltinRegistry
-from repro.relational.relation import Relation, relation_from_columns
+from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.caql.ast import AggregateQuery, SetOfQuery
 from repro.caql.eval import (

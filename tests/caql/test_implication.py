@@ -1,6 +1,5 @@
 """Tests for the condition implication engine — soundness is critical."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -74,7 +74,6 @@ class TestTranslation:
         assert all(kind == "const" for kind, _ in translation.output)
 
     def test_no_occurrences_rejected(self):
-        psj = normalize("q(X) :- parent(X, Y)")
         empty = psj_from_literals("q", [], [], ())
         with pytest.raises(TranslationError):
             sql_from_psj(empty, SCHEMAS.__getitem__)

@@ -78,3 +78,69 @@ class TestAggregation:
         out = m.format()
         assert "remote.requests" in out
         assert "7" in out
+
+
+class TestScopes:
+    def test_scope_created_on_first_use_and_memoized(self):
+        root = Metrics()
+        child = root.scope("alice")
+        assert root.scope("alice") is child
+        assert root.scopes() == {"alice": child}
+
+    def test_scope_names_are_dotted_paths(self):
+        root = Metrics()
+        child = root.scope("alice")
+        assert child.scope_name == "alice"
+        assert child.scope("phase1").scope_name == "alice.phase1"
+
+    def test_child_increments_propagate_to_ancestors(self):
+        root = Metrics()
+        inner = root.scope("alice").scope("phase1")
+        inner.incr("cache.misses", 3)
+        assert inner.get("cache.misses") == 3
+        assert root.scope("alice").get("cache.misses") == 3
+        assert root.get("cache.misses") == 3
+
+    def test_parent_holds_aggregate_children_hold_shares(self):
+        root = Metrics()
+        root.scope("alice").incr("remote.requests", 2)
+        root.scope("bob").incr("remote.requests", 5)
+        assert root.scope("alice").get("remote.requests") == 2
+        assert root.scope("bob").get("remote.requests") == 5
+        assert root.get("remote.requests") == 7
+
+    def test_sibling_scopes_never_cross_talk(self):
+        root = Metrics()
+        alice, bob = root.scope("alice"), root.scope("bob")
+        alice.incr("cache.misses")
+        assert bob.get("cache.misses") == 0
+        assert bob.snapshot() == {}
+
+    def test_root_increments_stay_out_of_scopes(self):
+        root = Metrics()
+        child = root.scope("alice")
+        root.incr("remote.requests")
+        assert child.get("remote.requests") == 0
+
+    def test_drop_scope_detaches_propagation(self):
+        root = Metrics()
+        child = root.scope("alice")
+        child.incr("a")
+        root.drop_scope("alice")
+        assert "alice" not in root.scopes()
+        assert root.get("a") == 1  # history stays in the aggregate
+        child.incr("a")  # the zombie no longer reaches the root
+        assert root.get("a") == 1
+        assert child.get("a") == 2
+
+    def test_drop_unknown_scope_is_noop(self):
+        Metrics().drop_scope("nobody")
+
+    def test_reset_recurses_into_scopes(self):
+        root = Metrics()
+        child = root.scope("alice")
+        child.incr("a", 4)
+        root.reset()
+        assert root.get("a") == 0
+        assert child.get("a") == 0
+        assert root.scope("alice") is child  # structure survives a reset

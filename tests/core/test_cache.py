@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import CacheCapacityError, CacheError
 from repro.relational.generator import generator_from_rows
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema
 from repro.caql.parser import parse_query
 from repro.caql.eval import psj_of, result_schema
 from repro.core.cache import Cache, CacheElement, lru_scorer
@@ -136,7 +135,10 @@ class TestEviction:
         e1 = store(cache, "d1(X, Y) :- b1(X, Y)")
         e2 = store(cache, "d2(X, Y) :- b2(X, Y)")
         # Score d2 low (protect), d1 high (evict) despite LRU order.
-        cache.scorer = lambda e: 100.0 if e.view_name == "d1" else 0.0
+        def scorer(e):
+            return 100.0 if e.view_name == "d1" else 0.0
+
+        cache.scorer = scorer
         store(cache, "d3(X, Y) :- b3(X, Y)")
         assert e1.element_id not in cache
         assert e2.element_id in cache

@@ -4,9 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.clock import CostProfile, ParallelRegion, SimClock
+from repro.common.clock import ParallelRegion
 from repro.common.errors import PlanningError
-from repro.common.metrics import CACHE_TUPLES_PROCESSED, Metrics
+from repro.common.metrics import CACHE_TUPLES_PROCESSED
 from repro.relational.generator import generator_from_rows
 from repro.relational.relation import Relation, relation_from_columns
 from repro.remote.server import RemoteDBMS
@@ -251,7 +251,11 @@ class SpyRegion:
 def spy_on_parallel(clock):
     """Capture the track totals of every parallel region ``clock`` opens."""
     captured = []
-    clock.parallel = lambda: SpyRegion(clock, captured)
+
+    def parallel():
+        return SpyRegion(clock, captured)
+
+    clock.parallel = parallel
     return captured
 
 

@@ -189,7 +189,7 @@ class TestAdviceDrivenDecisions:
     def test_not_lazy_for_consumer_views(self):
         cache = cache_with("scan(X, Z) :- b2(X, Z)")
         planner = make_planner(cache, advice=self.advice())
-        plan = planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
+        planner.plan(make_psj("d2(X, 1) :- b2(X, Z), b3(Z, c2, 1)"))
         # Not a full match here, but even for full matches the consumer
         # annotation should suppress lazy evaluation:
         cache2 = cache_with("whole(X, Z, Y) :- b2(X, Z), b3(Z, c2, Y)")

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.caql.eval import evaluate_psj, psj_of, result_schema
 from repro.caql.parser import parse_query
-from repro.caql.psj import PSJQuery, column, parse_column
+from repro.caql.psj import PSJQuery
 from repro.relational.relation import Relation
 from repro.core.cache import Cache
 from repro.core.subsumption import derive_part, match_element

@@ -1,6 +1,5 @@
 """Tests for answer justification (proof trees)."""
 
-import pytest
 
 from repro.logic.kb import KnowledgeBase
 from repro.logic.parser import parse_atom

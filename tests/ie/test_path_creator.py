@@ -1,6 +1,5 @@
 """Tests for path expression creation, against the paper's two examples."""
 
-import pytest
 
 from repro.logic.kb import KnowledgeBase
 from repro.logic.parser import parse_atom

@@ -1,6 +1,5 @@
 """Tests for the problem graph shaper."""
 
-import pytest
 
 from repro.logic.kb import KnowledgeBase
 from repro.logic.parser import parse_atom

@@ -1,6 +1,5 @@
 """Tests for the view specifier, anchored on the paper's examples."""
 
-import pytest
 
 from repro.logic.kb import KnowledgeBase
 from repro.logic.parser import parse_atom, parse_clause

@@ -6,7 +6,6 @@ The same holds for the inference strategies: every strategy and every
 advice setting must agree on the solution set.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for terms, atoms, and substitutions."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

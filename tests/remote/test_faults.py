@@ -11,7 +11,6 @@ import random
 
 import pytest
 
-from repro.common.clock import SimClock
 from repro.common.errors import (
     CircuitOpenError,
     RemoteDBMSError,
@@ -24,7 +23,6 @@ from repro.common.metrics import (
     REMOTE_REQUESTS,
     REMOTE_RETRIES,
     REMOTE_TIMEOUTS,
-    Metrics,
 )
 from repro.relational.relation import relation_from_columns
 from repro.remote.faults import (

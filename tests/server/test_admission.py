@@ -1,0 +1,147 @@
+"""Tests for admission control: queue bounds, backpressure, in-flight limits."""
+
+import pytest
+
+from repro.caql.parser import parse_query
+from repro.common.errors import ServerOverloadError
+from repro.common.metrics import (
+    SERVER_REQUESTS_ACCEPTED,
+    SERVER_REQUESTS_REJECTED,
+    Metrics,
+)
+from repro.server import BraidServer, ServerConfig
+from repro.server.admission import AdmissionController
+from repro.server.session import Request, Session
+from repro.workloads.synthetic import selection_universe
+
+
+def stub_session(name="s"):
+    # Admission only reads queue state, so a bare object with the
+    # Session queue attributes is enough.
+    session = Session.__new__(Session)
+    session.name = name
+    session.open = True
+    session.backlog = []
+    session.in_flight = []
+    return session
+
+
+def stub_request(session, n):
+    return Request(
+        request_id=f"{session.name}#{n}",
+        session_name=session.name,
+        query=None,
+        submitted_at=0.0,
+    )
+
+
+class TestController:
+    def test_rejects_beyond_queue_depth(self):
+        metrics = Metrics()
+        controller = AdmissionController(max_queue_depth=2, metrics=metrics)
+        session = stub_session()
+        controller.admit(session)
+        controller.admit(session)
+        with pytest.raises(ServerOverloadError) as excinfo:
+            controller.admit(session)
+        assert excinfo.value.queue_depth == 2
+        assert excinfo.value.max_queue_depth == 2
+        assert metrics.get(SERVER_REQUESTS_ACCEPTED) == 2
+        assert metrics.get(SERVER_REQUESTS_REJECTED) == 1
+
+    def test_release_reopens_admission(self):
+        controller = AdmissionController(max_queue_depth=1)
+        session = stub_session()
+        controller.admit(session)
+        controller.release()
+        controller.admit(session)  # does not raise
+
+    def test_unmatched_release_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController().release()
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight_per_session=0)
+
+    def test_may_start_caps_in_flight(self):
+        controller = AdmissionController(max_inflight_per_session=2)
+        session = stub_session()
+        assert controller.may_start(session)
+        session.in_flight = [stub_request(session, 1), stub_request(session, 2)]
+        assert not controller.may_start(session)
+
+    def test_eligibility(self):
+        controller = AdmissionController(max_inflight_per_session=1)
+        session = stub_session()
+        assert not controller.is_eligible(session)  # nothing to do
+        session.backlog = [stub_request(session, 1)]
+        assert controller.is_eligible(session)  # can start
+        session.in_flight = [stub_request(session, 2)]
+        assert controller.is_eligible(session)  # can drain (but not start)
+        assert not controller.may_start(session)
+        session.backlog = []
+        session.in_flight = []
+        session.open = False
+        assert not controller.is_eligible(session)
+
+    def test_utilization(self):
+        controller = AdmissionController(max_queue_depth=4)
+        session = stub_session()
+        controller.admit(session)
+        assert controller.utilization() == 0.25
+
+
+class TestServerBackpressure:
+    def make_server(self, **overrides):
+        config = ServerConfig(max_queue_depth=3, max_inflight_per_session=1, **overrides)
+        return BraidServer(
+            tables=selection_universe(rows=30, seed=5).tables, config=config
+        )
+
+    def queries(self, n):
+        return [
+            parse_query(f"q{i}(I, V) :- item(I, cat{i % 10}, V)") for i in range(n)
+        ]
+
+    def test_submit_beyond_bound_raises(self):
+        server = self.make_server()
+        server.open_session("alice")
+        for query in self.queries(3):
+            server.submit("alice", query)
+        with pytest.raises(ServerOverloadError):
+            server.submit("alice", self.queries(4)[3])
+
+    def test_backpressure_clears_as_work_completes(self):
+        server = self.make_server()
+        server.open_session("alice")
+        queries = self.queries(4)
+        for query in queries[:3]:
+            server.submit("alice", query)
+        server.run_until_idle()
+        server.submit("alice", queries[3])  # the queue drained
+        server.run_until_idle()
+        assert len(server.results("alice")) == 4
+
+    def test_in_flight_limit_forces_drain_before_next_start(self):
+        server = self.make_server()
+        server.open_session("alice")
+        for query in self.queries(2):
+            server.submit("alice", query)
+        server.run_until_idle()
+        # With max_inflight=1 the only legal schedule for one session is
+        # strict execute/drain alternation.
+        phases = [record.phase for record in server.schedule_trace]
+        assert phases == ["execute", "drain", "execute", "drain"]
+
+    def test_close_releases_abandoned_admissions(self):
+        server = self.make_server()
+        server.open_session("alice")
+        for query in self.queries(3):
+            server.submit("alice", query)
+        server.close_session("alice")
+        assert server.admission.queued == 0
+        server.open_session("bob")
+        server.submit("bob", self.queries(1)[0])  # capacity is back

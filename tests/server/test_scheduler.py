@@ -1,0 +1,156 @@
+"""Tests for the cooperative scheduler: policies, fairness, determinism."""
+
+import pytest
+
+from repro.caql.parser import parse_query
+from repro.common.errors import ServerError
+from repro.server import BraidServer, ServerConfig
+from repro.server.scheduler import (
+    RoundRobinPolicy,
+    Scheduler,
+    WeightedFairPolicy,
+)
+from repro.server.session import Session
+from repro.workloads.synthetic import selection_universe
+
+
+def stub_session(name, weight=1.0):
+    session = Session.__new__(Session)
+    session.name = name
+    session.weight = weight
+    session.open = True
+    return session
+
+
+class TestRoundRobin:
+    def test_takes_turns_in_opening_order(self):
+        policy = RoundRobinPolicy()
+        sessions = [stub_session(n) for n in ("a", "b", "c")]
+        for session in sessions:
+            policy.note_session(session)
+        picks = [policy.pick(sessions).name for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_ineligible_sessions(self):
+        policy = RoundRobinPolicy()
+        a, b, c = (stub_session(n) for n in ("a", "b", "c"))
+        for session in (a, b, c):
+            policy.note_session(session)
+        assert policy.pick([a, c]).name == "a"
+        assert policy.pick([a, c]).name == "c"
+        assert policy.pick([a, c]).name == "a"
+
+    def test_forget_keeps_rotation_stable(self):
+        policy = RoundRobinPolicy()
+        a, b, c = (stub_session(n) for n in ("a", "b", "c"))
+        for session in (a, b, c):
+            policy.note_session(session)
+        assert policy.pick([a, b, c]).name == "a"
+        policy.forget_session("a")
+        assert [policy.pick([b, c]).name for _ in range(4)] == ["b", "c", "b", "c"]
+
+    def test_empty_pick_rejected(self):
+        with pytest.raises(ServerError):
+            RoundRobinPolicy().pick([])
+
+
+class TestWeightedFair:
+    def test_equal_weights_share_equally(self):
+        policy = WeightedFairPolicy(seed=1)
+        sessions = [stub_session(n) for n in ("a", "b")]
+        for session in sessions:
+            policy.note_session(session)
+        picks = [policy.pick(sessions).name for _ in range(40)]
+        assert picks.count("a") == picks.count("b") == 20
+
+    def test_steps_proportional_to_weight(self):
+        policy = WeightedFairPolicy(seed=1)
+        heavy = stub_session("heavy", weight=3.0)
+        light = stub_session("light", weight=1.0)
+        policy.note_session(heavy)
+        policy.note_session(light)
+        picks = [policy.pick([heavy, light]).name for _ in range(80)]
+        assert picks.count("heavy") == 60
+        assert picks.count("light") == 20
+
+    def test_latecomer_joins_at_current_floor(self):
+        policy = WeightedFairPolicy(seed=1)
+        a, b = stub_session("a"), stub_session("b")
+        policy.note_session(a)
+        for _ in range(10):
+            policy.pick([a])
+        policy.note_session(b)
+        # b starts at a's accumulated pass, so it neither monopolizes the
+        # scheduler catching up nor waits for a to lap it.
+        picks = [policy.pick([a, b]).name for _ in range(20)]
+        assert picks.count("a") == picks.count("b") == 10
+
+    def test_same_seed_same_tie_breaks(self):
+        def sequence(seed):
+            policy = WeightedFairPolicy(seed=seed)
+            sessions = [stub_session(n) for n in ("a", "b", "c")]
+            for session in sessions:
+                policy.note_session(session)
+            return [policy.pick(sessions).name for _ in range(30)]
+
+        assert sequence(7) == sequence(7)
+
+
+class TestSchedulerWrapper:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServerError):
+            Scheduler(policy="lottery")
+        with pytest.raises(ServerError):
+            ServerConfig(scheduler_policy="lottery")
+
+    def test_empty_pick_rejected(self):
+        with pytest.raises(ServerError):
+            Scheduler().pick([])
+
+
+class TestServerDeterminism:
+    def run_server(self, policy, seed):
+        server = BraidServer(
+            tables=selection_universe(rows=40, seed=5).tables,
+            config=ServerConfig(scheduler_policy=policy, scheduler_seed=seed),
+        )
+        server.open_session("alice", weight=2.0)
+        server.open_session("bob")
+        for i in range(5):
+            server.submit("alice", parse_query(f"a{i}(I, V) :- item(I, cat{i}, V)"))
+            server.submit("bob", parse_query(f"b{i}(I, V) :- item(I, cat{i}, V)"))
+        server.run_until_idle()
+        return server
+
+    @pytest.mark.parametrize("policy", ["round-robin", "weighted-fair"])
+    def test_same_seed_byte_identical(self, policy):
+        first = self.run_server(policy, seed=3)
+        second = self.run_server(policy, seed=3)
+        assert first.schedule_lines() == second.schedule_lines()
+        assert first.schedule_fingerprint() == second.schedule_fingerprint()
+        assert first.session_results_snapshot() == second.session_results_snapshot()
+
+    def test_trace_lines_are_well_formed(self):
+        server = self.run_server("round-robin", seed=0)
+        for index, line in enumerate(server.schedule_lines()):
+            fields = line.split("|")
+            assert len(fields) == 5
+            assert int(fields[0]) == index
+            assert fields[1] in ("execute", "drain")
+            assert fields[2] in ("alice", "bob")
+
+    def test_every_request_executes_then_drains(self):
+        server = self.run_server("weighted-fair", seed=9)
+        seen: dict[str, list[str]] = {}
+        for record in server.schedule_trace:
+            seen.setdefault(record.request_id, []).append(record.phase)
+        assert all(phases == ["execute", "drain"] for phases in seen.values())
+
+    def test_weighted_fair_respects_weights_in_steps(self):
+        server = self.run_server("weighted-fair", seed=3)
+        report = server.fairness_report()
+        # Both sessions completed everything and latencies stayed within
+        # a sane band of each other.
+        assert report["sessions"]["alice"]["completed"] == 5
+        assert report["sessions"]["bob"]["completed"] == 5
+        assert report["max_min_latency_ratio"] < 3.0

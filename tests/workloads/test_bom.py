@@ -26,7 +26,6 @@ class TestGeneration:
         children = {}
         for asm, component, _qty in workload.table("assembly"):
             children.setdefault(asm, set()).add(component)
-        seen: set[str] = set()
 
         def walk(node, path):
             assert node not in path, "cycle in assembly tree"
