@@ -22,24 +22,27 @@ import pytest
 
 from repro.common.errors import RemoteDBMSError
 from repro.core.cms import CacheManagementSystem
+from repro.obs import Tracer
 from repro.remote.faults import FaultPolicy
 from repro.remote.server import RemoteDBMS
 from repro.workloads.genealogy import genealogy
 from repro.workloads.queries import StreamSpec, repeated_selection_stream
 
-from benchmarks.harness import format_table, record
+from benchmarks.harness import format_table, record, record_trace
 
 FAULT_RATES = [0.0, 0.1, 0.2, 0.4]
 LENGTH = 60
 SEED = 11
 
 
-def make_session(fault_rate: float, capacity_bytes: int = 600):
+def make_session(fault_rate: float, capacity_bytes: int = 600, traced: bool = False):
     server = RemoteDBMS(
         faults=FaultPolicy(seed=SEED, transient_rate=fault_rate)
         if fault_rate
         else None
     )
+    if traced:
+        server.tracer = Tracer(server.clock)
     for table in genealogy(seed=23).tables:
         server.load_table(table)
     cms = CacheManagementSystem(server, capacity_bytes=capacity_bytes)
@@ -56,9 +59,13 @@ def stream():
     )
 
 
-def run_session(fault_rate: float, outage: tuple[int, int] | None = None):
+def run_session(
+    fault_rate: float,
+    outage: tuple[int, int] | None = None,
+    traced: bool = False,
+):
     """One seeded session; returns availability and resilience counters."""
-    cms, server = make_session(fault_rate)
+    cms, server = make_session(fault_rate, traced=traced)
     answered = degraded = failed = 0
     for index, query in enumerate(stream()):
         if outage and index == outage[0]:
@@ -88,6 +95,8 @@ def run_session(fault_rate: float, outage: tuple[int, int] | None = None):
         "breaker_changes": metrics.get("remote.breaker_state_changes"),
         "simulated_seconds": server.clock.now,
         "snapshot": metrics.snapshot(),
+        "trace_jsonl": server.tracer.to_jsonl(),
+        "trace_fingerprint": server.tracer.fingerprint(),
     }
 
 
@@ -189,6 +198,33 @@ def test_zero_overhead_when_faults_disabled():
         return server.metrics.snapshot(), server.clock.now
 
     assert run(FaultPolicy.none()) == run(None)
+
+
+@pytest.fixture(scope="module")
+def traced_faulted():
+    return run_session(0.2, traced=True)
+
+
+def test_traced_faults_are_byte_identical(traced_faulted):
+    """Same-seed faulted runs export byte-identical traces."""
+    again = run_session(0.2, traced=True)
+    assert again["trace_jsonl"] == traced_faulted["trace_jsonl"]
+    assert again["trace_fingerprint"] == traced_faulted["trace_fingerprint"]
+    record_trace("E14", traced_faulted["trace_jsonl"])
+
+
+def test_trace_records_fault_events(traced_faulted):
+    jsonl = traced_faulted["trace_jsonl"]
+    assert '"fault.injected"' in jsonl
+    assert '"rdi.retry"' in jsonl
+
+
+def test_tracing_does_not_change_faulted_outcomes(sweep, traced_faulted):
+    """Tracing a faulted session must not perturb the fault schedule."""
+    baseline = sweep[0.2]
+    assert traced_faulted["snapshot"] == baseline["snapshot"]
+    assert traced_faulted["simulated_seconds"] == baseline["simulated_seconds"]
+    assert traced_faulted["availability"] == baseline["availability"]
 
 
 def test_benchmark_faulted_session(benchmark):

@@ -34,7 +34,7 @@ from repro.workloads.multisession import (
 )
 from repro.workloads.synthetic import selection_universe
 
-from benchmarks.harness import format_table, record
+from benchmarks.harness import format_table, record, record_trace
 
 CLIENT_SWEEP = [1, 2, 4, 8, 16, 32, 64]
 REQUESTS_PER_CLIENT = 6
@@ -54,13 +54,16 @@ def spec_for(clients: int) -> MultiSessionSpec:
     )
 
 
-def make_server(clients: int, policy: str = "round-robin") -> BraidServer:
+def make_server(
+    clients: int, policy: str = "round-robin", tracing: bool = False
+) -> BraidServer:
     return BraidServer(
         tables=TABLES,
         config=ServerConfig(
             scheduler_policy=policy,
             scheduler_seed=SEED,
             max_queue_depth=clients * REQUESTS_PER_CLIENT + 16,
+            tracing=tracing,
         ),
     )
 
@@ -71,9 +74,11 @@ def hit_rate(metrics) -> float:
     return hits / lookups if lookups else 0.0
 
 
-def run_shared(clients: int, policy: str = "round-robin") -> dict:
+def run_shared(
+    clients: int, policy: str = "round-robin", tracing: bool = False
+) -> dict:
     """The whole workload through one server with a shared cache."""
-    server = make_server(clients, policy=policy)
+    server = make_server(clients, policy=policy, tracing=tracing)
     streams = client_streams(spec_for(clients))
     for name in streams:
         server.open_session(name)
@@ -98,6 +103,8 @@ def run_shared(clients: int, policy: str = "round-robin") -> dict:
         "schedule_lines": server.schedule_lines(),
         "fingerprint": server.schedule_fingerprint(),
         "results": server.session_results_snapshot(),
+        "trace_jsonl": server.trace_jsonl(),
+        "trace_fingerprint": server.trace_fingerprint(),
     }
 
 
@@ -229,6 +236,35 @@ def test_same_seed_is_byte_identical(sweep, weighted):
     weighted_again = run_shared(8, policy="weighted-fair")
     assert weighted_again["fingerprint"] == weighted["fingerprint"]
     assert weighted_again["results"] == weighted["results"]
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_shared(8, tracing=True)
+
+
+def test_traced_runs_are_byte_identical(traced):
+    """Same-seed traced server runs export byte-identical span traces."""
+    again = run_shared(8, tracing=True)
+    assert again["trace_jsonl"] == traced["trace_jsonl"]
+    assert again["trace_fingerprint"] == traced["trace_fingerprint"]
+    record_trace("E15", traced["trace_jsonl"])
+
+
+def test_trace_scopes_spans_per_session(traced):
+    jsonl = traced["trace_jsonl"]
+    assert '"server.step"' in jsonl
+    for name in ("c00", "c07"):
+        assert f'"session":"{name}"' in jsonl
+
+
+def test_tracing_does_not_change_the_schedule(sweep, traced):
+    """The span trace observes the run; it must not perturb it."""
+    baseline = sweep[8]["shared"]
+    assert traced["schedule_lines"] == baseline["schedule_lines"]
+    assert traced["fingerprint"] == baseline["fingerprint"]
+    assert traced["results"] == baseline["results"]
+    assert traced["simulated_seconds"] == baseline["simulated_seconds"]
 
 
 def test_benchmark_shared_16_clients(benchmark):

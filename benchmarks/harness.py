@@ -70,3 +70,17 @@ def record(experiment: str, title: str, table: str, notes: str = "") -> None:
         body += f"\n{notes}\n"
     (RESULTS_DIR / f"{experiment}.txt").write_text(body)
     print(f"\n{body}")
+
+
+def record_trace(experiment: str, trace_jsonl: str) -> pathlib.Path:
+    """Persist an experiment's span trace as ``results/<experiment>.trace.jsonl``.
+
+    The JSONL comes from :meth:`repro.obs.Tracer.to_jsonl` and is canonical
+    (sorted keys, fixed separators), so the artifact is byte-identical
+    across same-seed runs — diffing two of them is a regression test, and
+    ``scripts/braid_report.py`` renders them as a span tree.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.trace.jsonl"
+    path.write_text(trace_jsonl)
+    return path

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Render a BrAID span trace (JSONL) as a human-readable tree.
+
+The input is what :meth:`repro.obs.Tracer.to_jsonl` exports — one span
+per line in opening order, then orphan events — e.g. the
+``benchmarks/results/<experiment>.trace.jsonl`` artifacts the experiment
+suite writes.  Reading and rendering are stdlib-only, so the script works
+on an artifact without the ``repro`` package installed.
+
+Usage::
+
+    python scripts/braid_report.py benchmarks/results/E16.trace.jsonl
+    python scripts/braid_report.py --events trace.jsonl   # span events too
+    PYTHONPATH=src python scripts/braid_report.py --demo  # self-contained demo
+
+``--demo`` builds a tiny traced session in process (this *does* import
+``repro``) and renders it — a smoke test that the whole pipeline, from
+tracer hooks to this renderer, holds together.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_trace(text: str) -> tuple[list[dict], list[dict]]:
+    """Split a JSONL trace into span records and orphan-event records."""
+    spans: list[dict] = []
+    orphans: list[dict] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"line {number}: not valid JSON ({error})")
+        if "span" in record:
+            spans.append(record)
+        elif "event" in record:
+            orphans.append(record)
+        else:
+            raise SystemExit(f"line {number}: neither a span nor an event record")
+    return spans, orphans
+
+
+def _format_attributes(attributes: dict) -> str:
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, list):
+            value = ",".join(str(v) for v in value)
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _format_span(span: dict) -> str:
+    start = span.get("start", 0.0)
+    end = span.get("end")
+    duration = f"{end - start:.6f}s" if end is not None else "unfinished"
+    attributes = _format_attributes(span.get("attributes", {}))
+    suffix = f"  {attributes}" if attributes else ""
+    return f"[{start:.6f} +{duration}] {span['name']}{suffix}"
+
+
+def _format_event(event: dict) -> str:
+    attributes = _format_attributes(event.get("attributes", {}))
+    suffix = f"  {attributes}" if attributes else ""
+    name = event.get("name") or event.get("event")
+    return f"* {event['t']:.6f} {name}{suffix}"
+
+
+def render_tree(
+    spans: list[dict], orphans: list[dict], show_events: bool = False
+) -> list[str]:
+    """The span forest as indented lines (opening order, children nested)."""
+    children: dict[object, list[dict]] = defaultdict(list)
+    for span in spans:
+        children[span.get("parent")].append(span)
+
+    lines: list[str] = []
+
+    def emit(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{_format_span(span)}")
+        if show_events:
+            for event in span.get("events", []):
+                lines.append(f"{indent}  {_format_event(event)}")
+        for child in children.get(span["span"], []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    if orphans and show_events:
+        lines.append("orphan events:")
+        for event in orphans:
+            lines.append(f"  {_format_event(event)}")
+    return lines
+
+
+def summarize(spans: list[dict], orphans: list[dict]) -> list[str]:
+    """Per-span-name counts and total simulated duration, widest first."""
+    totals: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    event_counts: dict[str, int] = defaultdict(int)
+    for span in spans:
+        counts[span["name"]] += 1
+        end = span.get("end")
+        if end is not None:
+            totals[span["name"]] += end - span.get("start", 0.0)
+        for event in span.get("events", []):
+            event_counts[event["name"]] += 1
+    for event in orphans:
+        event_counts[event["event"]] += 1
+
+    lines = ["summary (by span name):"]
+    width = max((len(name) for name in counts), default=4)
+    for name in sorted(counts, key=lambda n: (-totals[n], n)):
+        lines.append(
+            f"  {name.ljust(width)}  count={counts[name]:<5d} "
+            f"total_sim={totals[name]:.6f}s"
+        )
+    if event_counts:
+        lines.append("events (by name):")
+        width = max(len(name) for name in event_counts)
+        for name in sorted(event_counts, key=lambda n: (-event_counts[n], n)):
+            lines.append(f"  {name.ljust(width)}  count={event_counts[name]}")
+    return lines
+
+
+def report(text: str, show_events: bool = False) -> str:
+    """The full rendering of one JSONL trace."""
+    spans, orphans = load_trace(text)
+    if not spans and not orphans:
+        return "(empty trace)"
+    finished = [s for s in spans if s.get("end") is not None]
+    horizon = max((s["end"] for s in finished), default=0.0)
+    lines = [
+        f"spans={len(spans)} orphan_events={len(orphans)} "
+        f"horizon={horizon:.6f}s (simulated)",
+        "",
+    ]
+    lines.extend(render_tree(spans, orphans, show_events=show_events))
+    lines.append("")
+    lines.extend(summarize(spans, orphans))
+    return "\n".join(lines)
+
+
+def demo_trace() -> str:
+    """Build a small traced session in process; returns its JSONL trace.
+
+    Needs ``repro`` importable (run with ``PYTHONPATH=src``).  Two queries
+    — the second a repeat, answered from the cache — so the rendered tree
+    shows both a remote fetch and a cache hit.
+    """
+    from repro.braid import BraidConfig, BraidSystem
+    from repro.workloads.genealogy import genealogy
+
+    system = BraidSystem.from_workload(
+        genealogy(seed=23), BraidConfig(tracing=True)
+    )
+    system.ask_all("grandparent(G, p8)")
+    system.ask_all("grandparent(G, p8)")
+    return system.trace_jsonl()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a BrAID JSONL span trace as a tree."
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="path to a .trace.jsonl file (omit with --demo)",
+    )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="also print span events (and orphan events)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="build and render an in-process demo trace (imports repro)",
+    )
+    options = parser.parse_args(argv)
+
+    if options.demo:
+        text = demo_trace()
+        print("demo trace (two grandparent queries; second is a cache hit)")
+    elif options.trace:
+        try:
+            with open(options.trace, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"cannot read {options.trace}: {error}", file=sys.stderr)
+            return 2
+        print(f"trace: {options.trace}")
+    else:
+        parser.error("a trace path (or --demo) is required")
+        return 2  # unreachable; parser.error exits
+
+    try:
+        print(report(text, show_events=options.events))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.common.clock import CostProfile, SimClock
 from repro.common.errors import BraidError
 from repro.common.metrics import Metrics
+from repro.obs.tracer import Tracer
 from repro.logic.kb import KnowledgeBase
 from repro.relational.relation import Relation
 from repro.remote.server import RemoteDBMS
@@ -43,6 +44,9 @@ class BraidConfig:
     generate_advice: bool = True
     use_statistics: bool = True
     max_depth: int = 64
+    #: Collect a full span trace of every query's lifecycle (IE step →
+    #: CAQL query → plan → execution → remote link).  Off by default.
+    tracing: bool = False
 
 
 class BraidSystem:
@@ -57,13 +61,20 @@ class BraidSystem:
         self.config = config if config is not None else BraidConfig()
         self.clock = SimClock()
         self.metrics = Metrics()
+        self.tracer = (
+            Tracer(self.clock) if self.config.tracing else Tracer.disabled()
+        )
         profile = self.config.profile if self.config.profile is not None else CostProfile()
 
         engine = SqliteEngine() if self.config.backend == "sqlite" else None
         if self.config.backend not in ("pure", "sqlite"):
             raise BraidError(f"unknown backend {self.config.backend!r}")
         self.remote = RemoteDBMS(
-            engine=engine, clock=self.clock, profile=profile, metrics=self.metrics
+            engine=engine,
+            clock=self.clock,
+            profile=profile,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         for table in tables:
             self.remote.load_table(table)
@@ -151,6 +162,14 @@ class BraidSystem:
                 "{evictions:.0f} evictions".format(**stats)
             )
         return "\n".join(lines)
+
+    def trace_jsonl(self) -> str:
+        """The span trace in canonical JSONL ("" with tracing off)."""
+        return self.tracer.to_jsonl()
+
+    def trace_fingerprint(self) -> str:
+        """SHA-256 over the span trace (same seed → same fingerprint)."""
+        return self.tracer.fingerprint()
 
     def reset_measurements(self) -> None:
         """Zero the clock and counters (cache contents are kept)."""

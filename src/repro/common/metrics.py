@@ -14,13 +14,82 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 
+class Histogram:
+    """A value distribution: raw observations plus summary statistics.
+
+    Counters answer "how much in total"; histograms answer "how was it
+    distributed" — per-query latencies, tuples shipped per request,
+    element sizes at eviction.  Observations are kept in arrival order
+    (deterministic), and summaries are computed on demand from a sorted
+    copy, so recording stays O(1) per observation.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the observations (p in [0, 100])."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        """Count, total, min/mean/max, and p50/p90/p99 (zeros when empty)."""
+        if not self.values:
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "mean": 0.0,
+                "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            }
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "min": min(self.values),
+            "mean": self.total / len(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, total={self.total:.6g})"
+
+
+def format_value(value: float) -> str:
+    """Render a counter value: integer-valued floats print as integers
+    (counters are floats, so ``1.0`` would otherwise print where ``1`` is
+    meant — and large totals would degrade to exponent notation)."""
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
 @dataclass
 class Metrics:
-    """A hierarchical counter ledger.
+    """A hierarchical counter/histogram/gauge ledger.
 
     Counters are named with dotted paths (``"remote.requests"``,
     ``"cache.hits.subsumed"``).  Components only ever increment counters;
-    reports aggregate by prefix.
+    reports aggregate by prefix.  Histograms (:meth:`observe`) record
+    distributions next to the counters, and :meth:`gauge_max` keeps
+    high-water marks (queue depths, in-flight peaks).
 
     A ledger can be subdivided into named child **scopes** (one per server
     session, say): a scope is itself a ``Metrics`` whose increments also
@@ -36,6 +105,9 @@ class Metrics:
     _children: dict[str, "Metrics"] = field(
         default_factory=dict, repr=False, compare=False
     )
+    histograms: dict[str, Histogram] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def incr(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount`` (may be fractional).
@@ -46,6 +118,36 @@ class Metrics:
         self.counters[name] += amount
         if self.parent is not None:
             self.parent.incr(name, amount)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep ``name`` at the maximum value ever reported (a high-water
+        gauge).  Ancestors record the maximum over all their scopes."""
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
+        if self.parent is not None:
+            self.parent.gauge_max(name, value)
+
+    # -- histograms ----------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name`` (created on first
+        use).  Like counters, observations propagate to ancestor scopes."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+        if self.parent is not None:
+            self.parent.observe(name, value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The histogram called ``name``, or None if nothing was observed."""
+        return self.histograms.get(name)
+
+    def histogram_summaries(self) -> dict[str, dict[str, float]]:
+        """Summary statistics for every histogram, sorted by name."""
+        return {
+            name: self.histograms[name].summary()
+            for name in sorted(self.histograms)
+        }
 
     # -- scopes --------------------------------------------------------------
     def scope(self, name: str) -> "Metrics":
@@ -80,7 +182,14 @@ class Metrics:
         return self.counters.get(name, 0)
 
     def by_prefix(self, prefix: str) -> dict[str, float]:
-        """All counters whose dotted name starts with ``prefix``."""
+        """All counters whose dotted name starts with ``prefix``.
+
+        A name equal to the prefix matches; the empty prefix matches
+        every counter (so ``by_prefix("")`` is the whole ledger, not
+        nothing).
+        """
+        if not prefix:
+            return dict(self.counters)
         dotted = prefix if prefix.endswith(".") else prefix + "."
         return {
             name: value
@@ -93,8 +202,10 @@ class Metrics:
         return sum(self.by_prefix(prefix).values())
 
     def reset(self) -> None:
-        """Zero every counter (in this ledger and every child scope)."""
+        """Zero every counter and histogram (in this ledger and every
+        child scope)."""
         self.counters.clear()
+        self.histograms.clear()
         for child in self._children.values():
             child.reset()
 
@@ -103,10 +214,15 @@ class Metrics:
         return dict(sorted(self.counters.items()))
 
     def diff(self, earlier: dict[str, float]) -> dict[str, float]:
-        """Counters that changed since ``earlier`` (a prior snapshot)."""
+        """Counters that changed since ``earlier`` (a prior snapshot).
+
+        Counters present in ``earlier`` but since reset to zero show up
+        as negative deltas — a ``diff`` after ``reset`` reports the drop
+        rather than silently claiming nothing changed.
+        """
         out: dict[str, float] = {}
-        for name, value in self.counters.items():
-            delta = value - earlier.get(name, 0)
+        for name in sorted(set(self.counters) | set(earlier)):
+            delta = self.counters.get(name, 0) - earlier.get(name, 0)
             if delta:
                 out[name] = delta
         return out
@@ -115,17 +231,22 @@ class Metrics:
         return iter(sorted(self.counters.items()))
 
     def format(self, prefix: str = "") -> str:
-        """Human-readable report, optionally restricted to ``prefix``."""
-        items = self.by_prefix(prefix) if prefix else self.snapshot()
+        """Human-readable report, optionally restricted to ``prefix``.
+
+        Values are right-aligned in one column and integer-valued floats
+        print as integers, so counters line up regardless of whether a
+        fractional increment ever touched them.
+        """
+        items = self.by_prefix(prefix)
         if not items:
             return "(no metrics)"
+        shown = {name: format_value(value) for name, value in items.items()}
         width = max(len(name) for name in items)
-        lines = []
-        for name in sorted(items):
-            value = items[name]
-            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
-            lines.append(f"{name:<{width}}  {shown}")
-        return "\n".join(lines)
+        value_width = max(len(text) for text in shown.values())
+        return "\n".join(
+            f"{name:<{width}}  {shown[name]:>{value_width}}"
+            for name in sorted(items)
+        )
 
 
 # Canonical counter names, collected here so components and tests agree.
@@ -157,3 +278,11 @@ SERVER_REQUESTS_ACCEPTED = "server.requests.accepted"
 SERVER_REQUESTS_REJECTED = "server.requests.rejected"
 SERVER_REQUESTS_COMPLETED = "server.requests.completed"
 SERVER_SCHEDULER_STEPS = "server.scheduler_steps"
+#: High-water gauges (kept with :meth:`Metrics.gauge_max`).
+SERVER_QUEUE_DEPTH_HIGH_WATER = "server.queue_depth_high_water"
+SERVER_SESSION_INFLIGHT_HIGH_WATER = "server.session_inflight_high_water"
+
+# Canonical histogram names (recorded with :meth:`Metrics.observe`).
+H_QUERY_SIM_SECONDS = "cms.query_sim_seconds"
+H_REMOTE_TUPLES_PER_REQUEST = "remote.tuples_per_request"
+H_EVICTED_ELEMENT_BYTES = "cache.evicted_element_bytes"

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import CacheCapacityError, CacheError
-from repro.common.metrics import CACHE_PIN_DEFERRALS, Metrics
+from repro.common.metrics import (
+    CACHE_EVICTIONS,
+    CACHE_PIN_DEFERRALS,
+    H_EVICTED_ELEMENT_BYTES,
+    Metrics,
+)
 from repro.relational.generator import GeneratorRelation
 from repro.relational.index import IndexSet
 from repro.relational.relation import Relation
@@ -148,11 +153,21 @@ class Cache:
     path expression is being tracked.
     """
 
-    def __init__(self, capacity_bytes: int = 4_000_000, metrics: Metrics | None = None):
+    def __init__(
+        self,
+        capacity_bytes: int = 4_000_000,
+        metrics: Metrics | None = None,
+        tracer=None,
+    ):
         if capacity_bytes <= 0:
             raise CacheError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self.metrics = metrics
+        if tracer is None:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer.disabled()
+        self.tracer = tracer
         self._elements: dict[str, CacheElement] = {}
         #: Discarded-while-pinned elements: logically gone (no lookups),
         #: physically resident until the last pin is released.
@@ -273,6 +288,16 @@ class Cache:
                 raise CacheCapacityError(
                     "cache full and every element is pinned or exempt"
                 )
+            victim_bytes = victim.estimated_bytes()
+            if self.metrics is not None:
+                self.metrics.incr(CACHE_EVICTIONS)
+                self.metrics.observe(H_EVICTED_ELEMENT_BYTES, victim_bytes)
+            self.tracer.event(
+                "cache.evict",
+                element=victim.element_id,
+                view=victim.view_name,
+                bytes=victim_bytes,
+            )
             self.discard(victim.element_id)
             self.eviction_count += 1
 

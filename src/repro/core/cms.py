@@ -41,6 +41,7 @@ from repro.common.metrics import (
     CACHE_MISSES,
     CACHE_PREFETCHES,
     CACHE_STALE_REPLANS,
+    H_QUERY_SIM_SECONDS,
     IE_CAQL_QUERIES,
     REMOTE_DEGRADED_ANSWERS,
     Metrics,
@@ -122,9 +123,14 @@ class CacheManagementSystem:
         cache: Cache | None = None,
         metrics: Metrics | None = None,
         pin_streams: bool = False,
+        tracer=None,
     ):
         self.remote = remote
         self.clock: SimClock = remote.clock
+        #: The shared trace sink.  Defaults to the remote's tracer so one
+        #: tracer covers the whole bridge; pass an explicit tracer (or
+        #: leave both disabled) to control scope.
+        self.tracer = tracer if tracer is not None else remote.tracer
         #: The ledger this CMS records into.  Defaults to the remote's
         #: (single-session behaviour); a multi-session server hands every
         #: session its own child scope of one shared registry, so two CMS
@@ -138,7 +144,9 @@ class CacheManagementSystem:
         #: multi-session server's whole point); each instance still owns
         #: its advice context, planner, and monitor.
         self.cache = (
-            cache if cache is not None else Cache(capacity_bytes, metrics=self.metrics)
+            cache
+            if cache is not None
+            else Cache(capacity_bytes, metrics=self.metrics, tracer=self.tracer)
         )
         self.shares_cache = cache is not None
         self.advice_manager = AdviceManager()
@@ -158,6 +166,7 @@ class CacheManagementSystem:
             self.profile,
             self.features,
             remote_available=self.rdi.remote_available,
+            tracer=self.tracer,
         )
         self.monitor = ExecutionMonitor(
             self.cache,
@@ -168,6 +177,7 @@ class CacheManagementSystem:
             parallel=self.features.parallel,
             should_index=self._should_auto_index,
             pin_streams=pin_streams,
+            tracer=self.tracer,
         )
 
     def _should_auto_index(self, view_name: str) -> bool:
@@ -223,7 +233,64 @@ class CacheManagementSystem:
 
     # -- the CAQL query interface ------------------------------------------------------
     def query(self, q: CAQLQuery) -> ResultStream:
-        """Execute a CAQL query; returns a result stream."""
+        """Execute a CAQL query; returns a result stream.
+
+        Every call (nested sub-queries of aggregates/quantifiers included)
+        is traced as a ``cms.query`` span and its simulated latency lands
+        in the :data:`~repro.common.metrics.H_QUERY_SIM_SECONDS` histogram
+        — latency recording is unconditional, tracing costs nothing when
+        the tracer is disabled.
+        """
+        view = getattr(q, "name", None) or getattr(
+            getattr(q, "base", None), "name", type(q).__name__
+        )
+        with self.tracer.span(
+            "cms.query", view=view, session=self.metrics.scope_name
+        ) as span:
+            start = self.clock.now
+            stream = self._query_inner(q)
+            self.metrics.observe(H_QUERY_SIM_SECONDS, self.clock.now - start)
+            if self.tracer.enabled:
+                span.set("degraded", stream.degraded)
+                span.set("lazy", stream.lazy)
+                self._trace_stream_drain(stream, view)
+            return stream
+
+    def _trace_stream_drain(self, stream: ResultStream, view: str) -> None:
+        """Emit ``stream.ready`` now (eager) or ``stream.drained`` when a
+        lazy stream's generator exhausts — wherever the drain happens, the
+        event lands on whatever span is open there (a server drain step,
+        say), which is exactly the interleaving worth seeing."""
+        relation = stream._relation
+        if isinstance(relation, GeneratorRelation) and not relation.exhausted:
+            previous = relation.on_exhausted
+            tracer = self.tracer
+
+            def drained() -> None:
+                tracer.event(
+                    "stream.drained", view=view, rows=relation.produced_count
+                )
+                if previous is not None:
+                    previous()
+
+            relation.on_exhausted = drained
+        else:
+            self.tracer.event("stream.ready", view=view, rows=len(relation))
+
+    def explain(self, q: CAQLQuery):
+        """Plan ``q`` and report the full rationale **without executing**.
+
+        Returns a :class:`~repro.core.query_explain.PlanExplanation`:
+        the chosen strategy, lazy/eager and caching decisions, planner
+        notes, and per-candidate subsumption rationale (why each cache
+        element matched or was rejected).  Nothing is fetched, cached,
+        or charged, and the advice session statistics are not touched.
+        """
+        from repro.core.query_explain import explain_query
+
+        return explain_query(self, q)
+
+    def _query_inner(self, q: CAQLQuery) -> ResultStream:
         if isinstance(q, AggregateQuery):
             base_stream = self.query(q.base)
             base = base_stream.as_relation()
@@ -319,6 +386,7 @@ class CacheManagementSystem:
                     logger.debug("generalize: remote failure fetching %s", general.name)
                     continue
                 self.metrics.incr(CACHE_GENERALIZATIONS)
+                self.tracer.event("cms.generalized", view=psj.name, general=general.name)
             plan = self.planner.plan(psj)
 
         if plan.strategy == "exact":
@@ -340,6 +408,7 @@ class CacheManagementSystem:
                 # planning and execution (epoch-tagged invalidation):
                 # replan once against the current cache state.
                 self.metrics.incr(CACHE_STALE_REPLANS)
+                self.tracer.event("cms.stale_replan", view=psj.name)
                 logger.debug("stale plan for %s: replanning", psj.name)
                 plan = self.planner.plan(psj)
                 result = self.monitor.execute(plan)
@@ -351,6 +420,9 @@ class CacheManagementSystem:
             result = self._degraded_answer(psj, plan, error)
             self._last_degraded = True
             self.metrics.incr(REMOTE_DEGRADED_ANSWERS)
+            self.tracer.event(
+                "cms.degraded_answer", view=psj.name, error=type(error).__name__
+            )
             return result
 
         if self._archive is not None and plan.touches_remote:

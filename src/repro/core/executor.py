@@ -37,6 +37,7 @@ from repro.caql.psj import ConstProj, PSJQuery
 from repro.core.cache import Cache
 from repro.core.plan import CachePart, QueryPlan, RemotePart
 from repro.core.rdi import RemoteInterface
+from repro.obs.tracer import Tracer
 from repro.core.subsumption import (
     SubsumptionMatch,
     derive_full,
@@ -109,6 +110,7 @@ class ExecutionMonitor:
         parallel: bool = True,
         should_index=None,
         pin_streams: bool = False,
+        tracer=None,
     ):
         self.cache = cache
         self.rdi = rdi
@@ -116,6 +118,7 @@ class ExecutionMonitor:
         self.profile = profile
         self.metrics = metrics
         self.parallel = parallel
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         #: Callback: should derivations for this view name auto-index the
         #: matched element's probe attributes?  (Consumer-annotation
         #: advice; Section 5.3.3's "index E12 on the third attribute".)
@@ -154,7 +157,13 @@ class ExecutionMonitor:
         for element in elements:
             self.cache.pin(element)
         try:
-            return self._dispatch(plan)
+            with self.tracer.span(
+                "executor.execute",
+                view=plan.query.name,
+                strategy=plan.strategy,
+                lazy=plan.lazy,
+            ):
+                return self._dispatch(plan)
         finally:
             for element in elements:
                 self.cache.unpin(element)
@@ -290,9 +299,22 @@ class ExecutionMonitor:
                 produced.append(relation)
 
         if self.parallel and remote_parts and cache_parts:
-            with self.clock.parallel():
-                run_remote()  # charges the "remote" track inside the RDI
-                run_cache()   # charges the "local" track
+            with self.tracer.span(
+                "executor.parallel_tracks", view=plan.query.name
+            ) as span:
+                with self.clock.parallel() as region:
+                    run_remote()  # charges the "remote" track inside the RDI
+                    run_cache()   # charges the "local" track
+                # The region is over: record what each track cost, and how
+                # much overlap saved versus sequential execution.
+                tracks = region.tracks
+                for track, seconds in sorted(tracks.items()):
+                    span.set(f"track.{track}", seconds)
+                if tracks:
+                    span.set(
+                        "overlap_saved_seconds",
+                        sum(tracks.values()) - max(tracks.values()),
+                    )
         else:
             run_remote()
             run_cache()

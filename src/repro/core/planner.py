@@ -26,7 +26,8 @@ from repro.caql.psj import ConstProj, PSJQuery, psj_from_literals
 from repro.core.advice_manager import AdviceManager
 from repro.core.cache import Cache
 from repro.core.plan import CachePart, PlanPart, QueryPlan, RemotePart
-from repro.core.subsumption import SubsumptionMatch, find_relevant
+from repro.core.subsumption import SubsumptionMatch, explain_candidates, find_relevant
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -57,12 +58,14 @@ class QueryPlanner:
         profile: CostProfile,
         features: PlannerFeatures | None = None,
         remote_available: Callable[[], bool] | None = None,
+        tracer=None,
     ):
         self.cache = cache
         self.advice = advice
         self.stats_of = stats_of
         self.profile = profile
         self.features = features if features is not None else PlannerFeatures()
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         #: Resilience hook (circuit breaker): when the remote DBMS is
         #: currently unreachable, the planner keeps cache parts in hybrid
         #: plans instead of shipping the whole query, so a failing remote
@@ -79,9 +82,60 @@ class QueryPlanner:
         executor seeing a newer epoch re-validates the matched elements,
         which makes planning safe under multi-session interleaving.
         """
-        plan = self._plan(query)
-        plan.epoch = self.cache.epoch
-        return plan
+        with self.tracer.span("planner.plan", view=query.name) as span:
+            plan = self._plan(query)
+            plan.epoch = self.cache.epoch
+            if self.tracer.enabled:
+                self._trace_decision(span, query, plan)
+            return plan
+
+    def _trace_decision(self, span, query: PSJQuery, plan: QueryPlan) -> None:
+        """Record the planner's full rationale on its span (tracing only).
+
+        The subsumption probe is replayed with rejection recording
+        (:func:`explain_candidates`) — pure bookkeeping over an unchanged
+        cache, so it cannot perturb the plan; the cost is paid only when a
+        real tracer is attached.
+        """
+        span.set("strategy", plan.strategy)
+        span.set("lazy", plan.lazy)
+        span.set("cache_result", plan.cache_result)
+        span.set("expendable", plan.expendable)
+        span.set("epoch", plan.epoch)
+        span.set("notes", list(plan.notes))
+        span.set(
+            "parts",
+            [
+                f"cache:{p.match.element.element_id}"
+                if isinstance(p, CachePart)
+                else f"remote:{p.sub_query.name}"
+                for p in plan.parts
+            ],
+        )
+        if plan.prefetches:
+            span.set("prefetches", [p.name for p in plan.prefetches])
+        span.set("estimated_local_cost", plan.estimated_local_cost)
+        span.set("estimated_remote_cost", plan.estimated_remote_cost)
+        span.set("remote_available", self.remote_available())
+        if self.features.caching and self.features.subsumption:
+            for report in explain_candidates(self.cache, query):
+                if report.matched:
+                    best = report.matches[0]
+                    span.event(
+                        "subsume.match",
+                        element=report.element_id,
+                        view=report.view_name,
+                        full=any(m.is_full for m in report.matches),
+                        covered=sorted(best.covered_tags),
+                        residual=len(best.residual_conditions),
+                    )
+                else:
+                    span.event(
+                        "subsume.reject",
+                        element=report.element_id,
+                        view=report.view_name,
+                        reasons=list(report.rejections),
+                    )
 
     def _plan(self, query: PSJQuery) -> QueryPlan:
         if query.unsatisfiable:

@@ -31,7 +31,11 @@ from repro.common.errors import (
     TransientRemoteError,
     UnknownRelationError,
 )
-from repro.common.metrics import REMOTE_RETRIES, REMOTE_TIMEOUTS
+from repro.common.metrics import (
+    H_REMOTE_TUPLES_PER_REQUEST,
+    REMOTE_RETRIES,
+    REMOTE_TIMEOUTS,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.statistics import RelationStatistics
@@ -60,12 +64,15 @@ class RemoteInterface:
         self._statistics_cache: dict[str, RelationStatistics] = {}
         self._retry = retry if retry is not None else RetryPolicy()
         self._rng = random.Random(self._retry.seed)
+        #: The server's tracer, so remote round trips nest in caller spans.
+        self.tracer = server.tracer
         self._breaker = CircuitBreaker(
             self._retry.breaker_threshold,
             self._retry.breaker_cooldown,
             lambda: server.clock.now,
             server.metrics,
             probe_after=self._retry.breaker_probe_after,
+            tracer=self.tracer,
         )
 
     @property
@@ -113,9 +120,14 @@ class RemoteInterface:
         cache, so the whole result is wanted (lazy production only applies
         to cache-resident data, Section 5.1).
         """
-        translation = sql_from_psj(psj, self.schema_of)
-        rows, _schema = self._resilient(lambda: self._attempt_fetch(translation.query))
-        return translation.rebuild(rows)
+        with self.tracer.span("rdi.fetch", view=psj.name) as span:
+            translation = sql_from_psj(psj, self.schema_of)
+            rows, _schema = self._resilient(
+                lambda: self._attempt_fetch(translation.query)
+            )
+            self._server.metrics.observe(H_REMOTE_TUPLES_PER_REQUEST, len(rows))
+            span.set("tuples", len(rows))
+            return translation.rebuild(rows)
 
     def fetch_base_relation(self, table: str) -> Relation:
         """Fetch one whole base table (prefetch/generalization path)."""
@@ -123,9 +135,12 @@ class RemoteInterface:
 
         if not self.has_table(table):
             raise UnknownRelationError(table)
-        rows, schema = self._resilient(
-            lambda: self._attempt_fetch(FetchTableQuery(table))
-        )
+        with self.tracer.span("rdi.fetch_table", table=table) as span:
+            rows, schema = self._resilient(
+                lambda: self._attempt_fetch(FetchTableQuery(table))
+            )
+            self._server.metrics.observe(H_REMOTE_TUPLES_PER_REQUEST, len(rows))
+            span.set("tuples", len(rows))
         # Results are exposed under positional attribute names, matching
         # how PSJ queries address base relations.
         arity = len(schema.attributes)
@@ -165,7 +180,9 @@ class RemoteInterface:
         """Run one remote operation under retry/backoff/timeout/breaker."""
         policy = self._retry
         breaker = self._breaker
+        tracer = self.tracer
         if not breaker.allow():
+            tracer.event("breaker.refused", state=breaker.state)
             raise CircuitOpenError(
                 "circuit breaker open: remote DBMS temporarily unavailable"
             )
@@ -177,6 +194,7 @@ class RemoteInterface:
                 value = op()
             except RemoteTimeoutError as error:
                 metrics.incr(REMOTE_TIMEOUTS)
+                tracer.event("rdi.timeout", attempt=attempt)
                 last = error
             except TransientRemoteError as error:
                 last = error
@@ -192,6 +210,9 @@ class RemoteInterface:
             if attempt >= policy.max_retries or not breaker.allow():
                 break
             metrics.incr(REMOTE_RETRIES)
-            network.charge_backoff(policy.backoff(attempt, self._rng))
+            wait = policy.backoff(attempt, self._rng)
+            tracer.event("rdi.retry", attempt=attempt + 1, backoff_seconds=wait)
+            network.charge_backoff(wait)
         assert last is not None
+        tracer.event("rdi.gave_up", error=type(last).__name__)
         raise last

@@ -114,16 +114,41 @@ def _assignments(
     yield from backtrack(0, set(), {})
 
 
-def match_element(element: CacheElement, query: PSJQuery) -> Iterator[SubsumptionMatch]:
-    """All ways ``element`` can derive a component of ``query``."""
+def match_element(
+    element: CacheElement,
+    query: PSJQuery,
+    reasons: list[str] | None = None,
+) -> Iterator[SubsumptionMatch]:
+    """All ways ``element`` can derive a component of ``query``.
+
+    When ``reasons`` is given, every *failed* candidate mapping appends a
+    human-readable rejection reason to it — the raw material for
+    ``explain``-style subsumption rationale.  The match search itself is
+    unchanged (and pays nothing) when ``reasons`` is None.
+    """
     element_def = element.definition
     if not element_def.occurrences:
+        if reasons is not None:
+            reasons.append("element definition has no relation occurrences")
         return
     query_conditions = ConditionSet(query.conditions)
 
+    found_assignment = False
     for tag_map in _assignments(element_def, query):
+        found_assignment = True
+        mapping_text = (
+            ", ".join(f"{e}->{q}" for e, q in sorted(tag_map.items()))
+            if reasons is not None
+            else ""
+        )
         renamed = [_rename_condition(c, tag_map) for c in element_def.conditions]
-        if not all(query_conditions.implies(c) for c in renamed):
+        not_implied = [c for c in renamed if not query_conditions.implies(c)]
+        if not_implied:
+            if reasons is not None:
+                reasons.append(
+                    f"[{mapping_text}] element condition {not_implied[0]} is not "
+                    "implied by the query (the element is more restrictive)"
+                )
             continue
 
         covered = frozenset(tag_map.values())
@@ -160,6 +185,12 @@ def match_element(element: CacheElement, query: PSJQuery) -> Iterator[Subsumptio
                     continue
                 if not all(c in available for c in cols):
                     feasible = False
+                    if reasons is not None:
+                        reasons.append(
+                            f"[{mapping_text}] query condition {condition} must be "
+                            "re-applied but its columns were projected away by "
+                            "the element"
+                        )
                     break
                 residual.append(
                     condition.rename_columns({c: available[c] for c in cols})
@@ -169,6 +200,12 @@ def match_element(element: CacheElement, query: PSJQuery) -> Iterator[Subsumptio
                 # for the later join against uncovered parts.
                 if not all(c in available for c in inside):
                     feasible = False
+                    if reasons is not None:
+                        reasons.append(
+                            f"[{mapping_text}] join condition {condition} crosses "
+                            "the coverage boundary and its covered columns were "
+                            "projected away by the element"
+                        )
                     break
         if not feasible:
             continue
@@ -184,6 +221,11 @@ def match_element(element: CacheElement, query: PSJQuery) -> Iterator[Subsumptio
             if is_covered_col(entry):
                 if entry not in available:
                     feasible = False
+                    if reasons is not None:
+                        reasons.append(
+                            f"[{mapping_text}] the query projects {entry} but "
+                            "the element projected that column away"
+                        )
                     break
                 if is_full:
                     projection.append(available[entry])
@@ -201,6 +243,12 @@ def match_element(element: CacheElement, query: PSJQuery) -> Iterator[Subsumptio
             residual_conditions=tuple(residual),
             is_full=is_full,
             projection=tuple(projection) if projection is not None else None,
+        )
+
+    if not found_assignment and reasons is not None:
+        reasons.append(
+            "no injective occurrence mapping: some element occurrence has no "
+            "query occurrence with the same predicate and arity"
         )
 
 
@@ -225,6 +273,67 @@ def find_relevant(cache: Cache, query: PSJQuery) -> list[SubsumptionMatch]:
             matches.extend(match_element(element, query))
     matches.sort(key=lambda m: (not m.is_full, -len(m.covered_tags), len(m.residual_conditions)))
     return matches
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """Why one cache element did (or did not) subsume part of a query."""
+
+    element_id: str
+    view_name: str
+    matches: tuple[SubsumptionMatch, ...]
+    #: Rejection reasons, one per failed candidate occurrence mapping.
+    rejections: tuple[str, ...]
+
+    @property
+    def matched(self) -> bool:
+        return bool(self.matches)
+
+
+def explain_candidates(cache: Cache, query: PSJQuery) -> list[CandidateReport]:
+    """The subsumption probe with its working shown.
+
+    Walks the same predicate-index candidate set as :func:`find_relevant`
+    but records, for every candidate element, either its matches or the
+    reason each occurrence mapping was rejected.  This is the rationale
+    behind ``cms.explain`` and the planner's subsumption trace events; the
+    plain query path keeps using :func:`find_relevant`, which pays none of
+    this bookkeeping.
+    """
+    query_preds = set(query.predicates())
+    seen: set[str] = set()
+    reports: list[CandidateReport] = []
+    for pred in sorted(query_preds):
+        for element in cache.elements_for_predicate(pred):
+            if element.element_id in seen:
+                continue
+            seen.add(element.element_id)
+            extra = set(element.definition.predicates()) - query_preds
+            if extra:
+                reports.append(
+                    CandidateReport(
+                        element_id=element.element_id,
+                        view_name=element.definition.name,
+                        matches=(),
+                        rejections=(
+                            "element mentions predicate(s) absent from the "
+                            f"query: {', '.join(sorted(extra))}",
+                        ),
+                    )
+                )
+                continue
+            reasons: list[str] = []
+            matches = tuple(match_element(element, query, reasons=reasons))
+            reports.append(
+                CandidateReport(
+                    element_id=element.element_id,
+                    view_name=element.definition.name,
+                    matches=matches,
+                    rejections=tuple(reasons),
+                )
+            )
+    reports.sort(key=lambda r: (not r.matched, r.element_id))
+    return reports
 
 
 # ---------------------------------------------------------------------------

@@ -67,11 +67,15 @@ class DepthFirstController:
         self.metrics = metrics if metrics is not None else cms.metrics
         self.max_depth = max_depth
         self.use_statistics = use_statistics
+        from repro.obs.tracer import Tracer
+
+        self.tracer = getattr(cms, "tracer", None) or Tracer.disabled()
 
     # -- bookkeeping -------------------------------------------------------------
     def _step(self) -> None:
         self.metrics.incr(IE_INFERENCE_STEPS)
         self.clock.charge("local", self.profile.inference_step)
+        self.tracer.event("ie.step")
 
     def _stats_of(self, pred: str):
         return self.cms.statistics_of(pred)

@@ -105,6 +105,11 @@ class InferenceEngine:
         #: The last session's artifacts, for inspection and tests.
         self.last_graph: OrNode | None = None
         self.last_advice = None
+        # ``cms`` may be a baseline bridge (loose coupling shims) without a
+        # tracer; those simply stay untraced.
+        from repro.obs.tracer import Tracer
+
+        self.tracer = getattr(cms, "tracer", None) or Tracer.disabled()
 
     # -- the AI query interface ------------------------------------------------------
     def ask(self, query: Atom | str) -> Solutions:
@@ -145,21 +150,31 @@ class InferenceEngine:
 
     # -- interpretive path ----------------------------------------------------------------
     def _ask_interpretive(self, goal: Atom) -> Solutions:
-        config = specifier_config_for(self.strategy)
-        graph = extract_problem_graph(self.kb, goal)
-        shape(graph, self.kb, stats_of=self._stats_of if self.use_statistics else None)
-        advice, views = generate_advice(graph, self.kb, goal, config)
-        self.last_graph = graph
-        self.last_advice = advice if self.generate_advice else None
-        self.cms.begin_session(self.last_advice)
-        controller = DepthFirstController(
-            self.kb,
-            self.cms,
-            views,
-            config,
-            max_depth=self.max_depth,
-            use_statistics=self.use_statistics,
-        )
+        with self.tracer.span(
+            "ie.ask", goal=str(goal), strategy=self.strategy
+        ):
+            config = specifier_config_for(self.strategy)
+            graph = extract_problem_graph(self.kb, goal)
+            shape(
+                graph,
+                self.kb,
+                stats_of=self._stats_of if self.use_statistics else None,
+            )
+            advice, views = generate_advice(graph, self.kb, goal, config)
+            self.last_graph = graph
+            self.last_advice = advice if self.generate_advice else None
+            self.cms.begin_session(self.last_advice)
+            controller = DepthFirstController(
+                self.kb,
+                self.cms,
+                views,
+                config,
+                max_depth=self.max_depth,
+                use_statistics=self.use_statistics,
+            )
+        # The span covers session setup; solutions are pulled lazily, so
+        # the inference itself is traced by the controller's step events
+        # and the CMS's query spans as the consumer drives it.
         return Solutions(goal, controller.solve(graph))
 
     def _stats_of(self, pred: str):
@@ -172,12 +187,15 @@ class InferenceEngine:
     def _ask_compiled(self, goal: Atom) -> Solutions:
         from repro.ie.advice_gen import simplest_advice
 
-        self.last_graph = None
-        self.last_advice = (
-            simplest_advice(self.kb, goal) if self.generate_advice else None
-        )
-        self.cms.begin_session(self.last_advice)
-        compiled = CompiledStrategy(self.kb, self.cms).solve(goal)
+        with self.tracer.span(
+            "ie.ask", goal=str(goal), strategy=self.strategy
+        ):
+            self.last_graph = None
+            self.last_advice = (
+                simplest_advice(self.kb, goal) if self.generate_advice else None
+            )
+            self.cms.begin_session(self.last_advice)
+            compiled = CompiledStrategy(self.kb, self.cms).solve(goal)
         return Solutions(goal, self._compiled_substitutions(compiled))
 
     @staticmethod

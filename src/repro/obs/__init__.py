@@ -1,0 +1,28 @@
+"""Deterministic observability for the BrAID bridge.
+
+* :class:`~repro.obs.tracer.Tracer` — hierarchical spans and events
+  stamped with simulated time; :meth:`Tracer.disabled` is the zero-cost
+  opt-out every component defaults to.
+* :mod:`repro.obs.export` — canonical JSONL, Chrome trace-event format,
+  and SHA-256 trace fingerprints (same seed → same bytes).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_trace,
+    trace_fingerprint,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.tracer import Span, SpanEvent, Tracer
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "jsonl_trace",
+    "trace_fingerprint",
+    "write_chrome",
+    "write_jsonl",
+]

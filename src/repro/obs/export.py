@@ -1,0 +1,172 @@
+"""Trace exporters: JSONL, Chrome trace-event format, and fingerprints.
+
+All three are **canonical**: attribute keys are sorted, JSON is emitted
+with a fixed separator style, and nothing derived from wall time or
+object identity is ever written.  Two same-seed runs therefore export
+byte-identical traces, and :func:`trace_fingerprint` (SHA-256 over the
+JSONL form) makes that comparable with a single string — the same
+discipline the server applies to its schedule trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable
+
+
+def _json_safe(value: object) -> object:
+    """Coerce an attribute value to something JSON can encode canonically."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return str(value)
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _span_record(span) -> dict:
+    return {
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "attributes": {k: _json_safe(v) for k, v in span.attributes.items()},
+        "events": [
+            {
+                "t": event.time,
+                "name": event.name,
+                "attributes": {k: _json_safe(v) for k, v in event.attributes},
+            }
+            for event in span.events
+        ],
+    }
+
+
+def jsonl_trace(tracer) -> str:
+    """The whole trace as JSON Lines: one span per line (opening order),
+    then any orphan events.  Ends with a newline when non-empty."""
+    lines = [_dumps(_span_record(span)) for span in tracer.spans]
+    for event in tracer.orphan_events:
+        lines.append(
+            _dumps(
+                {
+                    "event": event.name,
+                    "t": event.time,
+                    "attributes": {k: _json_safe(v) for k, v in event.attributes},
+                }
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer, path) -> None:
+    """Write the JSONL trace to ``path`` (a str or Path)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(jsonl_trace(tracer))
+
+
+def trace_fingerprint(tracer) -> str:
+    """SHA-256 over the canonical JSONL export.
+
+    Same-seed runs must produce equal fingerprints; a mismatch means the
+    runs diverged somewhere, and the JSONL diff says exactly where.
+    """
+    return hashlib.sha256(jsonl_trace(tracer).encode()).hexdigest()
+
+
+# -- Chrome trace-event format -----------------------------------------------------
+
+#: Simulated seconds are scaled to microseconds for chrome://tracing.
+_US = 1_000_000
+
+
+def _tid_mapping(spans: Iterable) -> dict[str, int]:
+    """Stable session-name → thread-id mapping (sorted names, tid 1+)."""
+    names = sorted(
+        {
+            str(span.attributes["session"])
+            for span in spans
+            if span.attributes.get("session")
+        }
+    )
+    return {name: index + 1 for index, name in enumerate(names)}
+
+
+def chrome_trace(tracer) -> str:
+    """The trace in Chrome trace-event format (load in chrome://tracing
+    or Perfetto).  Spans become complete ("X") events on a per-session
+    thread lane; span events become instants ("i")."""
+    tids = _tid_mapping(tracer.spans)
+    records: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "braid (simulated time)"},
+        }
+    ]
+    for name, tid in tids.items():
+        records.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"session {name}"},
+            }
+        )
+    for span in tracer.spans:
+        tid = tids.get(str(span.attributes.get("session", "")), 0)
+        end = span.end if span.end is not None else span.start
+        records.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span.name,
+                "ts": span.start * _US,
+                "dur": (end - span.start) * _US,
+                "args": {k: _json_safe(v) for k, v in span.attributes.items()},
+            }
+        )
+        for event in span.events:
+            records.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": event.name,
+                    "ts": event.time * _US,
+                    "s": "t",
+                    "args": {k: _json_safe(v) for k, v in event.attributes},
+                }
+            )
+    for event in tracer.orphan_events:
+        records.append(
+            {
+                "ph": "i",
+                "pid": 1,
+                "tid": 0,
+                "name": event.name,
+                "ts": event.time * _US,
+                "s": "g",
+                "args": {k: _json_safe(v) for k, v in event.attributes},
+            }
+        )
+    return _dumps({"traceEvents": records, "displayTimeUnit": "ms"})
+
+
+def write_chrome(tracer, path) -> None:
+    """Write the Chrome trace-event export to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace(tracer))

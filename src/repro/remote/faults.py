@@ -222,12 +222,18 @@ class CircuitBreaker:
         time_fn,
         metrics: Metrics,
         probe_after: int = 8,
+        tracer=None,
     ):
         self.threshold = threshold  # 0 disables the breaker entirely
         self.cooldown = cooldown
         self.probe_after = probe_after
         self._time = time_fn
         self.metrics = metrics
+        if tracer is None:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer.disabled()
+        self.tracer = tracer
         self.state = self.CLOSED
         self.failures = 0
         self.refusals = 0
@@ -236,6 +242,9 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         if state != self.state:
+            self.tracer.event(
+                "breaker.transition", before=self.state, after=state
+            )
             self.state = state
             self.state_changes += 1
             self.metrics.incr(REMOTE_BREAKER_STATE_CHANGES)

@@ -21,6 +21,7 @@ from typing import Protocol
 from repro.common.clock import CostProfile, SimClock
 from repro.common.errors import RemoteDBMSError, TransientRemoteError
 from repro.common.metrics import Metrics
+from repro.obs.tracer import Tracer
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.statistics import RelationStatistics
@@ -107,11 +108,15 @@ class RemoteDBMS:
         metrics: Metrics | None = None,
         supports_pipelining: bool = True,
         faults: FaultPolicy | None = None,
+        tracer=None,
     ):
         self.engine: Engine = engine if engine is not None else PurePythonEngine()
         self.clock = clock if clock is not None else SimClock()
         self.profile = profile if profile is not None else CostProfile()
         self.metrics = metrics if metrics is not None else Metrics()
+        #: Shared trace sink; the whole bridge adopts the server's tracer so
+        #: remote round trips nest inside the spans of whoever called them.
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         self.network = NetworkModel(self.clock, self.profile, self.metrics)
         self.catalog = Catalog()
         self.supports_pipelining = supports_pipelining
@@ -143,10 +148,19 @@ class RemoteDBMS:
         decision = injector.on_request()
         if decision.extra_latency:
             self.network.charge_stall(decision.extra_latency)
+            self.tracer.event(
+                "fault.stall", seconds=decision.extra_latency
+            )
         if decision.kind == "transient":
+            self.tracer.event("fault.injected", kind="transient")
             raise TransientRemoteError("injected transient link failure")
         if decision.kind == "permanent":
+            self.tracer.event("fault.injected", kind="permanent")
             raise RemoteDBMSError("injected permanent remote failure")
+        if decision.disconnect_after is not None and allow_disconnect:
+            self.tracer.event(
+                "fault.disconnect_armed", after_buffers=decision.disconnect_after
+            )
         return decision.disconnect_after if allow_disconnect else None
 
     # -- data definition (done by the DBA, not charged) ----------------------------

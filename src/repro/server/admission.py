@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from repro.common.errors import ServerOverloadError
 from repro.common.metrics import (
+    SERVER_QUEUE_DEPTH_HIGH_WATER,
     SERVER_REQUESTS_ACCEPTED,
     SERVER_REQUESTS_REJECTED,
     Metrics,
 )
+from repro.obs.tracer import Tracer
 from repro.server.session import Session
 
 
@@ -34,6 +36,7 @@ class AdmissionController:
         max_queue_depth: int = 256,
         max_inflight_per_session: int = 4,
         metrics: Metrics | None = None,
+        tracer=None,
     ):
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -42,6 +45,7 @@ class AdmissionController:
         self.max_queue_depth = max_queue_depth
         self.max_inflight_per_session = max_inflight_per_session
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         #: Pending (admitted, unfinished) requests across all sessions.
         self.queued = 0
 
@@ -55,6 +59,12 @@ class AdmissionController:
         """
         if self.queued >= self.max_queue_depth:
             self.metrics.incr(SERVER_REQUESTS_REJECTED)
+            self.tracer.event(
+                "server.rejected",
+                session=session.name,
+                queue_depth=self.queued,
+                max_queue_depth=self.max_queue_depth,
+            )
             raise ServerOverloadError(
                 f"request queue full ({self.queued}/{self.max_queue_depth}); "
                 f"session {session.name!r} must back off",
@@ -63,6 +73,7 @@ class AdmissionController:
             )
         self.queued += 1
         self.metrics.incr(SERVER_REQUESTS_ACCEPTED)
+        self.metrics.gauge_max(SERVER_QUEUE_DEPTH_HIGH_WATER, self.queued)
 
     def release(self) -> None:
         """Account one finished (or abandoned) request."""

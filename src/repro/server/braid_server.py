@@ -43,6 +43,7 @@ from repro.common.metrics import (
 )
 from repro.advice.language import AdviceSet
 from repro.caql.ast import CAQLQuery
+from repro.obs.tracer import Tracer
 from repro.relational.relation import Relation
 from repro.remote.server import RemoteDBMS
 from repro.remote.sqlite_backend import SqliteEngine
@@ -65,6 +66,9 @@ class ServerConfig:
     scheduler_seed: int = 0
     max_queue_depth: int = 256
     max_inflight_per_session: int = 4
+    #: Collect a full span trace of every request's lifecycle.  Off by
+    #: default: the disabled tracer makes every hook a no-op.
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler_policy not in POLICIES:
@@ -97,6 +101,7 @@ class BraidServer:
         config: ServerConfig | None = None,
         remote: RemoteDBMS | None = None,
         pin_streams: bool = True,
+        tracer=None,
     ):
         self.config = config if config is not None else ServerConfig()
         if remote is not None:
@@ -116,7 +121,23 @@ class BraidServer:
 
         self.clock: SimClock = self.remote.clock
         self.metrics: Metrics = self.remote.metrics
-        self.cache = Cache(self.config.cache_capacity_bytes, metrics=self.metrics)
+        # Tracer adoption order: an explicit tracer wins; else an enabled
+        # tracer already attached to the remote; else ``config.tracing``
+        # creates one; else the zero-cost disabled tracer.  The remote is
+        # re-pointed at the adopted tracer so every session's RDI (built
+        # later, against the remote) shares the same trace.
+        if tracer is None:
+            if self.remote.tracer.enabled:
+                tracer = self.remote.tracer
+            elif self.config.tracing:
+                tracer = Tracer(self.clock)
+            else:
+                tracer = Tracer.disabled()
+        self.tracer = tracer
+        self.remote.tracer = tracer
+        self.cache = Cache(
+            self.config.cache_capacity_bytes, metrics=self.metrics, tracer=tracer
+        )
         self.sessions = SessionManager(
             self.remote,
             self.cache,
@@ -128,6 +149,7 @@ class BraidServer:
             max_queue_depth=self.config.max_queue_depth,
             max_inflight_per_session=self.config.max_inflight_per_session,
             metrics=self.metrics,
+            tracer=tracer,
         )
         self.scheduler = Scheduler(
             policy=self.config.scheduler_policy,
@@ -184,12 +206,23 @@ class BraidServer:
         session.activate()
         if session.backlog and self.admission.may_start(session):
             request = session.backlog.popleft()
-            self._execute(session, request)
             phase = "execute"
         else:
             request = session.in_flight.popleft()
-            self._drain(session, request)
             phase = "drain"
+        with self.tracer.span(
+            "server.step",
+            phase=phase,
+            session=session.name,
+            request=request.request_id,
+            index=len(self.schedule_trace),
+        ) as span:
+            if self.tracer.enabled:
+                span.set("eligible", [s.name for s in eligible])
+            if phase == "execute":
+                self._execute(session, request)
+            else:
+                self._drain(session, request)
         self.metrics.incr(SERVER_SCHEDULER_STEPS)
         self.schedule_trace.append(
             StepRecord(
@@ -224,6 +257,7 @@ class BraidServer:
             self._finish(session, request, error=error)
             return
         session.in_flight.append(request)
+        session.note_in_flight()
 
     def _drain(self, session: Session, request: Request) -> None:
         try:
@@ -257,6 +291,14 @@ class BraidServer:
             digest.update(line.encode())
             digest.update(b"\n")
         return digest.hexdigest()
+
+    def trace_jsonl(self) -> str:
+        """The span trace in canonical JSONL (empty when tracing is off)."""
+        return self.tracer.to_jsonl()
+
+    def trace_fingerprint(self) -> str:
+        """SHA-256 over the span trace, the schedule-fingerprint analogue."""
+        return self.tracer.fingerprint()
 
     def session_results_snapshot(self) -> dict[str, list[tuple]]:
         """Canonical per-session results, for byte-identical comparisons."""

@@ -28,6 +28,7 @@ from repro.common.errors import (
     UnknownSessionError,
 )
 from repro.common.metrics import (
+    SERVER_SESSION_INFLIGHT_HIGH_WATER,
     SERVER_SESSIONS_CLOSED,
     SERVER_SESSIONS_OPENED,
     Metrics,
@@ -96,7 +97,18 @@ class Session:
         #: Started (executed) requests whose streams are not yet drained.
         self.in_flight: deque[Request] = deque()
         self.completed: list[Request] = []
+        #: Highest simultaneous in-flight count this session ever reached.
+        self.in_flight_peak = 0
         self._next_request = 1
+
+    def note_in_flight(self) -> None:
+        """Record the current in-flight depth against the session's peak
+        (and the ``server.session_inflight_high_water`` gauge — the parent
+        scope keeps the maximum over all sessions)."""
+        depth = len(self.in_flight)
+        if depth > self.in_flight_peak:
+            self.in_flight_peak = depth
+        self.metrics.gauge_max(SERVER_SESSION_INFLIGHT_HIGH_WATER, depth)
 
     def new_request_id(self) -> str:
         request_id = f"{self.name}#{self._next_request}"

@@ -144,3 +144,139 @@ class TestScopes:
         assert root.get("a") == 0
         assert child.get("a") == 0
         assert root.scope("alice") is child  # structure survives a reset
+
+
+class TestEdgeCases:
+    """Satellite regressions: diff-after-reset, by_prefix corners,
+    drop-then-re-scope, and format alignment."""
+
+    def test_diff_after_reset_reports_negative_deltas(self):
+        m = Metrics()
+        m.incr("a", 3)
+        m.incr("b", 1)
+        before = m.snapshot()
+        m.reset()
+        m.incr("b", 5)
+        # The drop shows up; it is not silently "no change".
+        assert m.diff(before) == {"a": -3, "b": 4}
+
+    def test_by_prefix_empty_prefix_returns_all_counters(self):
+        m = Metrics()
+        m.incr("cache.misses", 2)
+        m.incr("remote.requests", 1)
+        assert m.by_prefix("") == {"cache.misses": 2, "remote.requests": 1}
+        assert m.by_prefix("") == m.snapshot()
+
+    def test_by_prefix_when_prefix_equals_a_counter_name(self):
+        m = Metrics()
+        m.incr("remote.requests", 4)
+        m.incr("remote.requests.retried", 1)
+        assert m.by_prefix("remote.requests") == {
+            "remote.requests": 4,
+            "remote.requests.retried": 1,
+        }
+
+    def test_drop_scope_then_rescope_same_name_gets_a_fresh_child(self):
+        root = Metrics()
+        old = root.scope("alice")
+        old.incr("a", 2)
+        root.drop_scope("alice")
+        fresh = root.scope("alice")
+        assert fresh is not old
+        assert fresh.get("a") == 0
+        fresh.incr("a", 1)
+        assert root.get("a") == 3  # old history plus the new child's share
+        old.incr("a")  # the detached zombie no longer reaches the root
+        assert root.get("a") == 3
+
+    def test_format_aligns_integer_and_float_values(self):
+        m = Metrics()
+        m.incr("long.counter.name", 1234)
+        m.incr("t", 0.125)
+        lines = m.format().splitlines()
+        # One right-aligned value column: every line is equally wide.
+        assert len({len(line) for line in lines}) == 1
+        assert lines[0].endswith("1234")
+        assert lines[1].endswith("0.125")
+
+    def test_format_prints_integer_valued_floats_as_integers(self):
+        m = Metrics()
+        m.incr("a", 2.0)
+        assert m.format().endswith("2")
+        m.incr("a", 0.5)
+        assert m.format().endswith("2.5")
+
+
+class TestGauges:
+    def test_gauge_max_keeps_the_high_water_mark(self):
+        m = Metrics()
+        m.gauge_max("server.queue_depth_high_water", 3)
+        m.gauge_max("server.queue_depth_high_water", 1)
+        assert m.get("server.queue_depth_high_water") == 3
+        m.gauge_max("server.queue_depth_high_water", 7)
+        assert m.get("server.queue_depth_high_water") == 7
+
+    def test_gauge_max_propagates_the_max_not_the_sum(self):
+        root = Metrics()
+        root.scope("alice").gauge_max("g", 2)
+        root.scope("bob").gauge_max("g", 5)
+        root.scope("alice").gauge_max("g", 3)
+        assert root.scope("alice").get("g") == 3
+        assert root.scope("bob").get("g") == 5
+        assert root.get("g") == 5  # not 8
+
+
+class TestHistograms:
+    def test_observe_creates_on_first_use(self):
+        m = Metrics()
+        assert m.histogram("lat") is None
+        m.observe("lat", 0.5)
+        assert m.histogram("lat").count == 1
+
+    def test_summary_statistics(self):
+        m = Metrics()
+        for value in [1, 2, 3, 4, 5]:
+            m.observe("lat", value)
+        summary = m.histogram("lat").summary()
+        assert summary["count"] == 5
+        assert summary["total"] == 15
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert summary["mean"] == 3
+        assert summary["p50"] == 3
+
+    def test_nearest_rank_percentiles(self):
+        m = Metrics()
+        for value in range(1, 101):
+            m.observe("lat", value)
+        h = m.histogram("lat")
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+
+    def test_empty_histogram_summary_is_zeros(self):
+        from repro.common.metrics import Histogram
+
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_observations_propagate_to_ancestor_scopes(self):
+        root = Metrics()
+        root.scope("alice").observe("lat", 1.0)
+        root.scope("bob").observe("lat", 3.0)
+        assert root.histogram("lat").count == 2
+        assert root.scope("alice").histogram("lat").count == 1
+
+    def test_reset_clears_histograms(self):
+        m = Metrics()
+        m.observe("lat", 1.0)
+        m.reset()
+        assert m.histogram("lat") is None
+
+    def test_histogram_summaries_sorted_by_name(self):
+        m = Metrics()
+        m.observe("z", 1)
+        m.observe("a", 2)
+        assert list(m.histogram_summaries()) == ["a", "z"]

@@ -1,0 +1,115 @@
+"""Trace exporters: canonical JSONL, fingerprints, Chrome trace format."""
+
+import hashlib
+import json
+
+from repro.common.clock import SimClock
+from repro.obs import Tracer, chrome_trace, jsonl_trace, trace_fingerprint
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(SimClock())
+    with tracer.span("cms.query", view="q1", session="alice"):
+        tracer.clock.advance(0.5)
+        tracer.event("stream.ready", rows=3)
+        with tracer.span("rdi.fetch", session="alice"):
+            tracer.clock.advance(0.25)
+    tracer.event("stray", n=1)
+    return tracer
+
+
+class TestJsonl:
+    def test_one_record_per_span_then_orphans(self):
+        lines = jsonl_trace(sample_tracer()).splitlines()
+        assert len(lines) == 3
+        first, second, third = (json.loads(line) for line in lines)
+        assert first["name"] == "cms.query"
+        assert second["name"] == "rdi.fetch"
+        assert second["parent"] == first["span"]
+        assert third == {"event": "stray", "t": 0.75, "attributes": {"n": 1}}
+
+    def test_span_record_shape(self):
+        record = json.loads(jsonl_trace(sample_tracer()).splitlines()[0])
+        assert record["span"] == 1
+        assert record["parent"] is None
+        assert record["start"] == 0.0
+        assert record["end"] == 0.75
+        assert record["attributes"] == {"session": "alice", "view": "q1"}
+        assert record["events"] == [
+            {"t": 0.5, "name": "stream.ready", "attributes": {"rows": 3}}
+        ]
+
+    def test_output_is_canonical_json(self):
+        for line in jsonl_trace(sample_tracer()).splitlines():
+            record = json.loads(line)
+            assert line == json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_empty_tracer_exports_empty_string(self):
+        assert jsonl_trace(Tracer(SimClock())) == ""
+
+    def test_nonempty_export_ends_with_newline(self):
+        assert jsonl_trace(sample_tracer()).endswith("\n")
+
+    def test_non_json_attribute_values_are_coerced(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("s", names={"b", "a"}, obj=object()) as span:
+            span.set("pair", ("x", 1))
+        record = json.loads(jsonl_trace(tracer))
+        assert record["attributes"]["names"] == ["a", "b"]
+        assert record["attributes"]["pair"] == ["x", 1]
+        assert isinstance(record["attributes"]["obj"], str)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_sha256_of_the_jsonl(self):
+        tracer = sample_tracer()
+        expected = hashlib.sha256(jsonl_trace(tracer).encode()).hexdigest()
+        assert trace_fingerprint(tracer) == expected
+        assert tracer.fingerprint() == expected
+
+    def test_identical_traces_have_equal_fingerprints(self):
+        assert trace_fingerprint(sample_tracer()) == trace_fingerprint(
+            sample_tracer()
+        )
+
+    def test_any_difference_changes_the_fingerprint(self):
+        tracer = sample_tracer()
+        other = sample_tracer()
+        other.spans[0].set("extra", True)
+        assert trace_fingerprint(tracer) != trace_fingerprint(other)
+
+
+class TestChrome:
+    def test_valid_trace_event_json(self):
+        doc = json.loads(chrome_trace(sample_tracer()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = [record["ph"] for record in doc["traceEvents"]]
+        assert "M" in phases and "X" in phases and "i" in phases
+
+    def test_spans_become_complete_events_in_microseconds(self):
+        doc = json.loads(chrome_trace(sample_tracer()))
+        complete = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        query = next(r for r in complete if r["name"] == "cms.query")
+        assert query["ts"] == 0.0
+        assert query["dur"] == 750_000.0
+
+    def test_sessions_get_their_own_thread_lanes(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("s", session="bob"):
+            pass
+        with tracer.span("s", session="alice"):
+            pass
+        doc = json.loads(chrome_trace(tracer))
+        names = {
+            r["args"]["name"]: r["tid"]
+            for r in doc["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        # Sorted session names → stable tid assignment.
+        assert names == {"session alice": 1, "session bob": 2}
+
+    def test_disabled_tracer_exports_an_empty_document(self):
+        doc = json.loads(Tracer.disabled().to_chrome())
+        assert [r["ph"] for r in doc["traceEvents"]] == ["M"]
