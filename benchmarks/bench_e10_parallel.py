@@ -61,14 +61,13 @@ def test_report(results):
             table_rows.append(
                 [rows, "parallel" if parallel else "sequential", r["answers"], r["query_time"]]
             )
+    headers = ["cached rows", "execution", "answers", "query sim time (s)"]
     record(
         "E10",
         "hybrid query: cached join operand + remote selective fetch",
-        format_table(
-            ["cached rows", "execution", "answers", "query sim time (s)"],
-            table_rows,
-        ),
+        format_table(headers, table_rows),
         notes="Claim: overlapping cache and remote work cuts response time to max(local, remote).",
+        data={"headers": headers, "rows": table_rows},
     )
 
 

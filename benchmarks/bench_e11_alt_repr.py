@@ -98,11 +98,13 @@ def test_report(results):
         ["local tuples touched", results["local_tuples"]],
         ["sim time (s)", results["time"]],
     ]
+    headers = ["measure", "value"]
     record(
         "E11",
         f"one relation, two uses (stream + {PROBES} keyed probes)",
-        format_table(["measure", "value"], rows),
+        format_table(headers, rows),
         notes="Claim: a single stored instance serves both uses; probes use the index.",
+        data={"headers": headers, "rows": rows},
     )
 
 

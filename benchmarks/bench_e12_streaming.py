@@ -77,14 +77,13 @@ def test_report(results):
                     r["time"],
                 ]
             )
+    headers = ["consumed", "transfer", "pulled", "tuples shipped", "sim time (s)"]
     record(
         "E12",
         f"partial consumption of a {RESULT_SIZE}-tuple remote result (buffer {BUFFER})",
-        format_table(
-            ["consumed", "transfer", "pulled", "tuples shipped", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
         notes="Claim: pipelined transfer pays only for shipped buffers.",
+        data={"headers": headers, "rows": rows},
     )
 
 

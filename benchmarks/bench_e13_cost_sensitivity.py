@@ -76,14 +76,13 @@ def test_report(results):
                 f"{speedup:.2f}x",
             ]
         )
+    headers = ["latency (s)", "CMS time (s)", "loose time (s)", "CMS speedup"]
     record(
         "E13",
         f"link-latency sweep over a {LENGTH}-query session (repetition 0.5)",
-        format_table(
-            ["latency (s)", "CMS time (s)", "loose time (s)", "CMS speedup"],
-            rows,
-        ),
+        format_table(headers, rows),
         notes="Claim: the bridge's advantage scales with communication cost and never reverses.",
+        data={"headers": headers, "rows": rows},
     )
 
 

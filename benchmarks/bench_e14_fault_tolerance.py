@@ -132,20 +132,19 @@ def test_report(sweep, outage):
             outage["simulated_seconds"],
         ]
     )
+    headers = [
+        "fault rate",
+        "availability",
+        "degraded",
+        "retries",
+        "faults injected",
+        "sim time (s)",
+    ]
     record(
         "E14",
         f"fault-injected link, {LENGTH}-query selection stream",
-        format_table(
-            [
-                "fault rate",
-                "availability",
-                "degraded",
-                "retries",
-                "faults injected",
-                "sim time (s)",
-            ],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: bounded retries absorb transient faults (availability 1.0 "
             "at moderate rates); during a total outage the breaker sheds load "

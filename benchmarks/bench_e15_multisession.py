@@ -162,22 +162,21 @@ def test_report(sweep, weighted):
         ]
         for clients, r in sweep.items()
     ]
+    headers = [
+        "clients",
+        "shared hit rate",
+        "isolated hit rate",
+        "lift",
+        "fairness max/min",
+        "shared sim (s)",
+        "isolated sim (s)",
+    ]
     record(
         "E15",
         f"multi-session serving, {REQUESTS_PER_CLIENT} requests/client, "
         "50% shared hot pool",
-        format_table(
-            [
-                "clients",
-                "shared hit rate",
-                "isolated hit rate",
-                "lift",
-                "fairness max/min",
-                "shared sim (s)",
-                "isolated sim (s)",
-            ],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: one shared semantic cache turns cross-client repetition "
             "into hits that isolated per-client caches cannot see — the lift "

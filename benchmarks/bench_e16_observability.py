@@ -94,13 +94,12 @@ def test_report(untraced, traced):
             traced["wall_seconds"] * 1e3,
         ],
     ]
+    headers = ["mode", "spans", "sim time (s)", "wall time (ms)"]
     record(
         "E16",
         f"observability overhead, {LENGTH}-query E2-style stream",
-        format_table(
-            ["mode", "spans", "sim time (s)", "wall time (ms)"],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: tracing reads the clock but never advances it, so "
             "simulated totals and every metrics counter are identical with "

@@ -62,14 +62,13 @@ def test_report(results):
             rows.append(
                 [rate, kind, r["remote_requests"], r["tuples_shipped"], r["simulated_seconds"]]
             )
+    headers = ["repetition", "bridge", "remote requests", "tuples shipped", "sim time (s)"]
     record(
         "E2",
         f"caching vs loose coupling, {LENGTH}-query selection stream",
-        format_table(
-            ["repetition", "bridge", "remote requests", "tuples shipped", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
         notes="Claim: caching removes repeated remote requests; loose coupling pays full price.",
+        data={"headers": headers, "rows": rows},
     )
 
 

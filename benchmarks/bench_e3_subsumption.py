@@ -81,13 +81,12 @@ def test_report(results):
                     r["exact_hits"],
                 ]
             )
+    headers = ["containment", "bridge", "remote reqs", "tuples shipped", "subsumed hits", "exact hits"]
     record(
         "E3",
         f"subsumption reuse over {LENGTH} overlapping range queries",
-        format_table(
-            ["containment", "bridge", "remote reqs", "tuples shipped", "subsumed hits", "exact hits"],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: subsumption reuses cached windows that exact matching cannot; "
             "the gap widens with containment."

@@ -75,11 +75,13 @@ def test_report(results):
         for mode in ("lazy", "eager"):
             r = results[(mode, consume)]
             rows.append([label, mode, r["pulled"], r["produced"]])
+    headers = ["solutions wanted", "mode", "pulled", "tuples produced"]
     record(
         "E4",
         "lazy vs eager production of a cached join view",
-        format_table(["solutions wanted", "mode", "pulled", "tuples produced"], rows),
+        format_table(headers, rows),
         notes="Claim: lazy evaluation produces only what the IE consumes.",
+        data={"headers": headers, "rows": rows},
     )
 
 

@@ -83,13 +83,12 @@ def test_report(results):
         [name, r["total_requests"], r["late_requests"], r["prefetches"], r["time"]]
         for name, r in results.items()
     ]
+    headers = ["configuration", "total remote reqs", "reqs after 1st query", "prefetches", "sim time (s)"]
     record(
         "E5",
         "prefetching sequence companions predicted by the path expression",
-        format_table(
-            ["configuration", "total remote reqs", "reqs after 1st query", "prefetches", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: with prefetching, queries after the first need no new remote "
             "data; total requests do not grow."

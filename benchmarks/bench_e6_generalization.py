@@ -87,13 +87,12 @@ def test_report(results):
                     r["time"],
                 ]
             )
+    headers = ["distinct lookups", "mode", "remote reqs", "tuples shipped", "sim time (s)"]
     record(
         "E6",
         "per-constant lookups under repetition advice",
-        format_table(
-            ["distinct lookups", "mode", "remote reqs", "tuples shipped", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: one generalized fetch amortizes over repeated lookups; "
             "for a single lookup it over-fetches (the paper's noted trade-off)."

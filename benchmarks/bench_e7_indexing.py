@@ -84,14 +84,13 @@ def test_report(results):
                     r["index_builds"],
                 ]
             )
+    headers = ["cached rows", "mode", "local tuples touched", "sim time (s)", "index builds"]
     record(
         "E7",
         f"{LOOKUPS} bound-argument lookups against a cached element",
-        format_table(
-            ["cached rows", "mode", "local tuples touched", "sim time (s)", "index builds"],
-            table_rows,
-        ),
+        format_table(headers, table_rows),
         notes="Claim: consumer-annotation indexing turns scans into probes; gain grows with size.",
+        data={"headers": headers, "rows": table_rows},
     )
 
 

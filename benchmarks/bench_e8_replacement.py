@@ -103,14 +103,13 @@ def test_report(results):
         [name, r["requests"], r["shipped"], r["exact_hits"], r["evictions"], r["time"]]
         for name, r in results.items()
     ]
+    headers = ["policy", "remote reqs", "tuples shipped", "exact hits", "evictions", "sim time (s)"]
     record(
         "E8",
         f"hot view + one-shot filler churn under cache pressure ({ROUNDS} rounds)",
-        format_table(
-            ["policy", "remote reqs", "tuples shipped", "exact hits", "evictions", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
         notes="Claim: path-expression distance keeps the predicted-to-recur element resident.",
+        data={"headers": headers, "rows": rows},
     )
 
 

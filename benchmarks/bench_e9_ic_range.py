@@ -60,13 +60,12 @@ def test_report(results):
             rows.append(
                 [mode, strategy, r["caql"], r["requests"], r["shipped"], r["time"]]
             )
+    headers = ["mode", "strategy", "CAQL queries", "remote reqs", "tuples shipped", "sim time (s)"]
     record(
         "E9",
         "three strategies along the I-C range, two consumption modes",
-        format_table(
-            ["mode", "strategy", "CAQL queries", "remote reqs", "tuples shipped", "sim time (s)"],
-            rows,
-        ),
+        format_table(headers, rows),
+        data={"headers": headers, "rows": rows},
         notes=(
             "Claim: no point on the range always wins — compiled/conjunction win "
             "all-solutions joins; interpretive wins first-solution recursion."

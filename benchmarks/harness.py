@@ -13,11 +13,13 @@ per-experiment index.  Experiments report two kinds of numbers:
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.caql.ast import CAQLQuery
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
 
 
 def run_queries(bridge, queries: list[CAQLQuery], advice=None) -> dict[str, float]:
@@ -62,14 +64,42 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def record(experiment: str, title: str, table: str, notes: str = "") -> None:
-    """Persist an experiment's table and print it (visible with -s)."""
+def record(
+    experiment: str, title: str, table: str, notes: str = "", data: dict | None = None
+) -> None:
+    """Persist an experiment's table and print it (visible with -s).
+
+    ``data`` is the machine-readable form of the same results: it is
+    written canonically (sorted keys, fixed separators — byte-identical
+    across same-seed runs) to ``results/<experiment>.json`` and rolled up
+    into ``results/BENCH_summary.json`` so CI and scripts can consume
+    every experiment without parsing the fixed-width tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     body = f"{experiment}: {title}\n\n{table}\n"
     if notes:
         body += f"\n{notes}\n"
     (RESULTS_DIR / f"{experiment}.txt").write_text(body)
+    if data is not None:
+        document = {"experiment": experiment, "title": title, "results": data}
+        (RESULTS_DIR / f"{experiment}.json").write_text(_canonical(document) + "\n")
+        _update_summary()
     print(f"\n{body}")
+
+
+def _canonical(document) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _update_summary() -> None:
+    """Rebuild ``BENCH_summary.json`` from every per-experiment JSON file."""
+    experiments = {}
+    for path in sorted(RESULTS_DIR.glob("E*.json")):
+        try:
+            experiments[path.stem] = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue  # a half-written or foreign file must not sink the rollup
+    SUMMARY_PATH.write_text(_canonical({"experiments": experiments}) + "\n")
 
 
 def record_trace(experiment: str, trace_jsonl: str) -> pathlib.Path:

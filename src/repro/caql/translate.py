@@ -10,13 +10,13 @@ kept out of the SELECT list and re-attached client-side by the RDI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.common.errors import TranslationError
 from repro.relational.expressions import Col
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.remote.sql import SelectQuery, SqlCol, SqlCondition, SqlLit, TableRef
+from repro.remote.sql import SelectQuery, SqlCol, SqlCondition, SqlInList, SqlLit, TableRef
 from repro.caql.eval import result_schema
 from repro.caql.psj import ConstProj, PSJQuery, parse_column
 
@@ -55,8 +55,17 @@ class SQLTranslation:
         return Relation(schema, (self.rebuild_row(row) for row in shipped_rows))
 
 
-def sql_from_psj(psj: PSJQuery, schema_of: SchemaLookup) -> SQLTranslation:
+def sql_from_psj(
+    psj: PSJQuery,
+    schema_of: SchemaLookup,
+    in_lists: Mapping[str, tuple[object, ...]] | None = None,
+) -> SQLTranslation:
     """Translate a PSJ query into a DML request.
+
+    ``in_lists`` maps qualified query columns (``"t1.c0"``) to binding
+    value tuples; each becomes a shipped IN-list predicate (the semijoin
+    reduction).  Values must already be deduplicated and in canonical
+    order — the RDI owns that normalization.
 
     Raises :class:`TranslationError` for queries with no relation
     occurrences (nothing to ask the remote DBMS for) — the planner routes
@@ -96,6 +105,10 @@ def sql_from_psj(psj: PSJQuery, schema_of: SchemaLookup) -> SQLTranslation:
             else SqlLit(condition.right.value)
         )
         where.append(SqlCondition(left, right=right, op=condition.op))
+
+    if in_lists:
+        for qualified in sorted(in_lists):
+            where.append(SqlInList(to_sql_col(qualified), tuple(in_lists[qualified])))
 
     select_cols: list[SqlCol] = []
     select_index: dict[str, int] = {}

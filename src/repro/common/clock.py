@@ -32,6 +32,10 @@ class CostProfile:
     remote_latency: float = 50e-3
     #: Cost of shipping one tuple from the remote DBMS to the workstation.
     transfer_per_tuple: float = 0.5e-3
+    #: Cost of shipping one binding value *to* the remote DBMS (semijoin
+    #: IN-lists).  Cheaper than a result tuple — a binding is one value,
+    #: not a whole row — but charged so semijoin reduction stays honest.
+    uplink_per_value: float = 0.1e-3
     #: Server-side cost of touching one tuple while executing a DML request.
     server_per_tuple: float = 0.05e-3
     #: Workstation-side cost of touching one tuple in the cache.
@@ -48,6 +52,7 @@ class CostProfile:
         return CostProfile(
             remote_latency=self.remote_latency * factor,
             transfer_per_tuple=self.transfer_per_tuple * factor,
+            uplink_per_value=self.uplink_per_value * factor,
             server_per_tuple=self.server_per_tuple * factor,
             cache_per_tuple=self.cache_per_tuple * factor,
             index_probe=self.index_probe * factor,

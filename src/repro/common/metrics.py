@@ -258,6 +258,12 @@ REMOTE_TIMEOUTS = "remote.timeouts"
 REMOTE_FAULTS_INJECTED = "remote.faults_injected"
 REMOTE_DEGRADED_ANSWERS = "remote.degraded_answers"
 REMOTE_BREAKER_STATE_CHANGES = "remote.breaker_state_changes"
+#: Binding values shipped workstation -> server in semijoin IN-lists.
+REMOTE_BINDINGS_SHIPPED = "remote.bindings_shipped"
+#: Remote fetches that were semijoin-reduced by a shipped binding set.
+REMOTE_SEMIJOIN_REQUESTS = "remote.semijoin_requests"
+#: DML requests that shared one round trip with at least one other.
+REMOTE_BATCHED_REQUESTS = "remote.batched_requests"
 CACHE_HITS_EXACT = "cache.hits.exact"
 CACHE_HITS_SUBSUMED = "cache.hits.subsumed"
 CACHE_MISSES = "cache.misses"

@@ -84,6 +84,9 @@ class CMSFeatures(PlannerFeatures):
     """All CMS technique toggles (extends the planner's)."""
 
     advice_replacement: bool = True
+    #: Batch independently-needed remote fetches (prefetch companions,
+    #: multi-part remote plans) into one round trip.
+    batching: bool = True
     buffer_size: int = 64
     #: Client-side resilience for the remote link (retries, backoff,
     #: timeout, circuit breaker).  The default policy is inert on a
@@ -105,7 +108,9 @@ class CMSFeatures(PlannerFeatures):
             generalization=False,
             indexing=False,
             parallel=False,
+            semijoin=False,
             advice_replacement=False,
+            batching=False,
             retry_policy=RetryPolicy.none(),
             degradation=False,
         )
@@ -178,6 +183,7 @@ class CacheManagementSystem:
             should_index=self._should_auto_index,
             pin_streams=pin_streams,
             tracer=self.tracer,
+            batch_remote=self.features.batching,
         )
 
     def _should_auto_index(self, view_name: str) -> bool:
@@ -512,14 +518,41 @@ class CacheManagementSystem:
             self.clock.charge("local", self.profile.index_build_per_tuple * rows)
 
     def _prefetch_companions(self, view_name: str) -> None:
-        """Prefetch views grouped with ``view_name`` in the path expression."""
+        """Prefetch views grouped with ``view_name`` in the path expression.
+
+        With batching on, all companions needing remote data are shipped
+        as **one** round trip (:meth:`RemoteInterface.fetch_many`) — the
+        path expression told us they are wanted together, so the latency
+        is paid once for the whole group.
+        """
         if not self.features.prefetch or not self.features.caching:
             return
+        wanted: list[tuple[str, PSJQuery]] = []
         for companion in self.advice_manager.prefetch_candidates(view_name):
             general = self._general_psj_of_view(companion)
             if general is None or self.cache.lookup_exact(general) is not None:
                 continue
             logger.debug("prefetch: %s (companion of %s)", companion, view_name)
+            wanted.append((companion, general))
+        if not wanted:
+            return
+        if self.features.batching and len(wanted) > 1:
+            try:
+                relations = self.rdi.fetch_many([general for _name, general in wanted])
+            except RemoteDBMSError:
+                return  # prefetching must never fail the query it rode on
+            for (companion, general), relation in zip(wanted, relations):
+                try:
+                    element = self.cache.store(general, relation)
+                except CacheCapacityError:
+                    continue
+                if self.features.indexing:
+                    self._build_indexes(
+                        element, self.advice_manager.index_positions(companion)
+                    )
+                self.metrics.incr(CACHE_PREFETCHES)
+            return
+        for companion, general in wanted:
             try:
                 self._fetch_and_cache(general, view_name=companion)
             except (CacheCapacityError, RemoteDBMSError):

@@ -111,6 +111,7 @@ class ExecutionMonitor:
         should_index=None,
         pin_streams: bool = False,
         tracer=None,
+        batch_remote: bool = True,
     ):
         self.cache = cache
         self.rdi = rdi
@@ -118,6 +119,8 @@ class ExecutionMonitor:
         self.profile = profile
         self.metrics = metrics
         self.parallel = parallel
+        #: Ship independently-needed remote parts as one batched round trip.
+        self.batch_remote = batch_remote
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         #: Callback: should derivations for this view name auto-index the
         #: matched element's probe attributes?  (Consumer-annotation
@@ -286,6 +289,11 @@ class ExecutionMonitor:
         cache_parts = [p for p in plan.parts if isinstance(p, CachePart)]
 
         def run_remote() -> None:
+            if self.batch_remote and len(remote_parts) > 1:
+                relations = self.rdi.fetch_many([p.sub_query for p in remote_parts])
+                for part, relation in zip(remote_parts, relations):
+                    produced.append(self._with_columns(relation, part.columns, "remote"))
+                return
             for part in remote_parts:
                 relation = self.rdi.fetch(part.sub_query)
                 produced.append(self._with_columns(relation, part.columns, "remote"))
@@ -297,6 +305,18 @@ class ExecutionMonitor:
                 relation = self._cache_part_relation(part)
                 self._charge_local(source_rows + len(relation))
                 produced.append(relation)
+
+        if any(p.bind_columns for p in remote_parts):
+            # Semijoin path: the cache track must run first — its produced
+            # relations are the binding source — so the two tracks are
+            # sequential by construction (the planner priced that in).
+            run_cache()
+            binding_source = list(produced)
+            for part in remote_parts:
+                produced.append(self._fetch_semijoined(plan, part, binding_source))
+            result = self._combine(produced, plan)
+            self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
+            return result
 
         if self.parallel and remote_parts and cache_parts:
             with self.tracer.span(
@@ -325,6 +345,57 @@ class ExecutionMonitor:
 
     def _cache_part_relation(self, part: CachePart) -> Relation:
         return derive_part(part.match, list(part.columns))
+
+    # -- semijoin reduction ---------------------------------------------------------
+    def _fetch_semijoined(
+        self, plan: QueryPlan, part: RemotePart, binding_source: list[Relation]
+    ) -> Relation:
+        """Fetch one remote part reduced by bindings from the cache track.
+
+        An empty binding set proves the combine-stage join empty, so the
+        round trip is skipped entirely (zero requests) and an empty part
+        relation is produced instead.
+        """
+        bindings: dict[str, tuple[object, ...]] = {}
+        for spec in part.bind_columns:
+            values = self._extract_bindings(spec.cache_column, binding_source)
+            if values is None:
+                continue  # source column not exposed: fall back to unbound
+            if not values:
+                self.tracer.event(
+                    "rdi.semijoin",
+                    view=part.sub_query.name,
+                    columns=[spec.remote_column],
+                    values=0,
+                    short_circuit=True,
+                )
+                if part.columns:
+                    return Relation(Schema("remote", part.columns), [])
+                return Relation(Schema("remote", ("_exists_remote",)), [])
+            bindings[spec.remote_column] = values
+        relation = self.rdi.fetch(part.sub_query, bindings=bindings or None)
+        return self._with_columns(relation, part.columns, "remote")
+
+    def _extract_bindings(
+        self, cache_column: str, produced: list[Relation]
+    ) -> tuple[object, ...] | None:
+        """Distinct values of ``cache_column`` across the produced cache
+        parts (None when no part exposes the column)."""
+        for relation in produced:
+            if cache_column not in relation.schema.attributes:
+                continue
+            position = relation.schema.position(cache_column)
+            seen: set[object] = set()
+            values: list[object] = []
+            for row in relation:
+                value = row[position]
+                if value not in seen:
+                    seen.add(value)
+                    values.append(value)
+            # The extraction pass re-reads the part's rows.
+            self._charge_local(len(relation))
+            return tuple(values)
+        return None
 
     # -- graceful degradation (remote unreachable) ---------------------------------
     def derive_degraded(self, match: SubsumptionMatch, query: PSJQuery) -> Relation:

@@ -33,6 +33,24 @@ class CachePart:
 
 
 @dataclass(frozen=True)
+class BindingSpec:
+    """One semijoin binding: a remote join column reduced by cache values.
+
+    The executor runs the cache track first, projects the *distinct* values
+    of ``cache_column`` from the produced cache part, and ships them as an
+    IN-list on ``remote_column`` — so the server returns only tuples that
+    can survive the combine-stage join.
+    """
+
+    #: Qualified column in the remote sub-query ("t1.c0").
+    remote_column: str
+    #: Qualified column a cache part exposes ("t0.c1") — the binding source.
+    cache_column: str
+    #: Planner estimate of how many distinct values will be shipped.
+    estimated_values: float = 0.0
+
+
+@dataclass(frozen=True)
 class RemotePart:
     """A component shipped to the remote DBMS as one DML request."""
 
@@ -40,6 +58,14 @@ class RemotePart:
     #: Query columns this part exposes (the sub-query's projection order).
     columns: tuple[str, ...]
     tags: frozenset[str]
+    #: Semijoin reduction chosen by the planner: binding sets to extract
+    #: from cache parts and ship as IN-lists.  Empty = unreduced fetch.
+    bind_columns: tuple[BindingSpec, ...] = ()
+
+    @property
+    def semijoin(self) -> bool:
+        """True when this fetch is semijoin-reduced by shipped bindings."""
+        return bool(self.bind_columns)
 
 
 PlanPart = CachePart | RemotePart
@@ -101,6 +127,11 @@ class QueryPlan:
                 lines.append(f"  cache: {part.match}")
             else:
                 lines.append(f"  remote: {part.sub_query}")
+                for spec in part.bind_columns:
+                    lines.append(
+                        f"    semijoin: {spec.remote_column} IN bindings of "
+                        f"{spec.cache_column} (~{spec.estimated_values:.0f} values)"
+                    )
         if self.full_match is not None:
             lines.append(f"  derive-from: {self.full_match}")
         if self.lazy:

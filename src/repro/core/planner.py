@@ -25,7 +25,7 @@ from repro.relational.statistics import RelationStatistics
 from repro.caql.psj import ConstProj, PSJQuery, psj_from_literals
 from repro.core.advice_manager import AdviceManager
 from repro.core.cache import Cache
-from repro.core.plan import CachePart, PlanPart, QueryPlan, RemotePart
+from repro.core.plan import BindingSpec, CachePart, PlanPart, QueryPlan, RemotePart
 from repro.core.subsumption import SubsumptionMatch, explain_candidates, find_relevant
 from repro.obs.tracer import Tracer
 
@@ -41,6 +41,10 @@ class PlannerFeatures:
     generalization: bool = True
     indexing: bool = True
     parallel: bool = True
+    #: Semijoin-reduce remote fetches: ship the distinct join-column values
+    #: a cache part pins (an IN-list) instead of pulling the base relation
+    #: unreduced.  Chosen per query by cost, never unconditionally.
+    semijoin: bool = True
 
 
 #: Resolves a base-relation name to its remote statistics.
@@ -109,6 +113,7 @@ class QueryPlanner:
                 f"cache:{p.match.element.element_id}"
                 if isinstance(p, CachePart)
                 else f"remote:{p.sub_query.name}"
+                + ("+semijoin" if p.bind_columns else "")
                 for p in plan.parts
             ],
         )
@@ -302,16 +307,51 @@ class QueryPlanner:
 
         remote_cost = 0.0
         local_cost = sum(self._derive_cost(m) for m in chosen)
+        semijoined = False
         if uncovered:
             sub = self._remote_sub_query(query, frozenset(uncovered))
-            parts.append(
-                RemotePart(
-                    sub_query=sub,
-                    columns=tuple(str(p) for p in sub.projection),
-                    tags=frozenset(uncovered),
-                )
+            remote_part = RemotePart(
+                sub_query=sub,
+                columns=tuple(str(p) for p in sub.projection),
+                tags=frozenset(uncovered),
             )
             remote_cost = self._remote_cost(sub)
+
+            # Semijoin reduction: if a cache part pins a join column, it
+            # may be cheaper to run the cache track first and ship its
+            # distinct binding values than to pull the sub-query unreduced.
+            # The reduced fetch is sequential (bindings must exist before
+            # the request), so it competes against the *parallel* hybrid.
+            if chosen and self.features.semijoin:
+                specs = self._binding_candidates(query, chosen, frozenset(uncovered))
+                if specs:
+                    reduced_cost = self._semijoin_cost(sub, specs)
+                    unreduced_hybrid = (
+                        max(remote_cost, local_cost)
+                        if self.features.parallel
+                        else remote_cost + local_cost
+                    )
+                    if local_cost + reduced_cost < unreduced_hybrid:
+                        remote_part = RemotePart(
+                            sub_query=sub,
+                            columns=remote_part.columns,
+                            tags=remote_part.tags,
+                            bind_columns=tuple(specs),
+                        )
+                        remote_cost = reduced_cost
+                        semijoined = True
+                        for spec in specs:
+                            notes = notes + [
+                                f"semijoin: ship bindings of {spec.cache_column} "
+                                f"as {spec.remote_column} IN-list "
+                                f"(~{spec.estimated_values:.0f} values)"
+                            ]
+                    else:
+                        notes = notes + [
+                            "semijoin rejected: shipped bindings dearer than "
+                            "the unreduced parallel fetch"
+                        ]
+            parts.append(remote_part)
 
         # Compare the hybrid plan against shipping the whole query.  With
         # the circuit breaker open, keep the cache parts: they are the raw
@@ -321,9 +361,9 @@ class QueryPlanner:
         elif chosen and uncovered:
             whole_remote = self._remote_cost(query)
             hybrid = (
-                max(remote_cost, local_cost)
-                if self.features.parallel
-                else remote_cost + local_cost
+                remote_cost + local_cost
+                if semijoined or not self.features.parallel
+                else max(remote_cost, local_cost)
             )
             if whole_remote < hybrid:
                 sub = query
@@ -398,6 +438,110 @@ class QueryPlanner:
             conditions,
             projection,
         )
+
+    # -- semijoin reduction -------------------------------------------------------------
+    def _binding_candidates(
+        self,
+        query: PSJQuery,
+        chosen: list[SubsumptionMatch],
+        uncovered: frozenset[str],
+    ) -> list[BindingSpec]:
+        """Cross-part equality joins usable as shipped binding sets.
+
+        A candidate needs an equality condition with one side exposed by a
+        chosen cache part and the other side inside the uncovered (remote)
+        component.  Each remote column is bound at most once.
+        """
+        uncovered_prefixes = tuple(tag + "." for tag in uncovered)
+        exposed: dict[str, SubsumptionMatch] = {}
+        for match in chosen:
+            for col in self._needed_columns(query, match.covered_tags):
+                exposed.setdefault(col, match)
+
+        specs: list[BindingSpec] = []
+        bound: set[str] = set()
+        for condition in query.conditions:
+            if condition.op != "=" or not condition.is_col_col():
+                continue
+            left, right = condition.left.name, condition.right.name
+            for remote_col, cache_col in ((left, right), (right, left)):
+                if not remote_col.startswith(uncovered_prefixes):
+                    continue
+                if cache_col.startswith(uncovered_prefixes):
+                    continue
+                source = exposed.get(cache_col)
+                if source is None or remote_col in bound:
+                    continue
+                specs.append(
+                    BindingSpec(
+                        remote_column=remote_col,
+                        cache_column=cache_col,
+                        estimated_values=self._estimate_bindings(query, cache_col, source),
+                    )
+                )
+                bound.add(remote_col)
+                break
+        return specs
+
+    def _estimate_bindings(
+        self, query: PSJQuery, cache_col: str, source: SubsumptionMatch
+    ) -> float:
+        """How many distinct binding values the cache part will yield.
+
+        Bounded above by the element's materialized rows, by the domain
+        size of the underlying remote attribute, and by the query's own
+        selection estimate on the covered occurrence — residual conditions
+        the cache part applies (a tighter range, an equality pin) shrink
+        the binding set below the element's size, and pricing that in is
+        what lets the planner choose semijoin for highly selective cache
+        parts (whose binding sets may even turn out empty, short-circuiting
+        the remote fetch entirely).
+        """
+        domain = self._distinct_of(query, cache_col)
+        tag, _ = _split(cache_col)
+        stats = self.stats_of(query.occurrence(tag).pred)
+        local = query.column_conditions(tag)
+        renamed = [
+            c.rename_columns({col: _position_attr(col) for col in c.columns()})
+            for c in local
+        ]
+        filtered = max(_positional_stats(stats).estimate_selection(renamed), 0.0)
+        rows = float(source.element.rows_materialized())
+        if rows <= 0:  # generator-backed element: fall back to the domain
+            rows = domain
+        return min(rows, filtered, domain)
+
+    def _semijoin_cost(self, sub: PSJQuery, specs: list[BindingSpec]) -> float:
+        """Simulated seconds of the semijoin-reduced remote fetch.
+
+        Server touch work is kept at the unreduced estimate (conservative);
+        the win must come from shipping fewer result tuples, and the
+        shipped IN-list is charged as uplink so the reduction stays honest.
+        """
+        touched = sum(self.stats_of(occ.pred).cardinality for occ in sub.occurrences)
+        shipped = self.estimate_rows(sub)
+        bindings = 0.0
+        for spec in specs:
+            domain = self._distinct_of(sub, spec.remote_column)
+            if domain > 0:
+                shipped *= min(1.0, spec.estimated_values / domain)
+            bindings += spec.estimated_values
+        return (
+            self.profile.remote_latency
+            + self.profile.server_per_tuple * touched
+            + self.profile.transfer_per_tuple * shipped
+            + self.profile.uplink_per_value * bindings
+        )
+
+    def _distinct_of(self, query: PSJQuery, qualified: str) -> float:
+        """Distinct-value estimate for a qualified query column."""
+        tag, position = _split(qualified)
+        stats = self.stats_of(query.occurrence(tag).pred)
+        positional = _positional_stats(stats)
+        attr = positional.attributes.get(f"a{position}")
+        if attr is None or attr.distinct <= 0:
+            return max(float(stats.cardinality), 1.0)
+        return float(attr.distinct)
 
     # -- cost model ---------------------------------------------------------------------
     def estimate_rows(self, psj: PSJQuery) -> float:

@@ -143,6 +143,7 @@ def explain_query(cms, q: CAQLQuery) -> PlanExplanation:
         f"cache:{p.match.element.element_id}"
         if isinstance(p, CachePart)
         else f"remote:{p.sub_query.name}"
+        + ("+semijoin" if p.bind_columns else "")
         for p in plan.parts
     )
     if plan.full_match is not None:

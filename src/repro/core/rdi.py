@@ -34,6 +34,7 @@ from repro.common.errors import (
 from repro.common.metrics import (
     H_REMOTE_TUPLES_PER_REQUEST,
     REMOTE_RETRIES,
+    REMOTE_SEMIJOIN_REQUESTS,
     REMOTE_TIMEOUTS,
 )
 from repro.relational.relation import Relation
@@ -46,6 +47,27 @@ from repro.caql.psj import PSJQuery
 from repro.caql.translate import sql_from_psj
 
 T = TypeVar("T")
+
+
+def canonical_bindings(
+    bindings: dict[str, tuple[object, ...]] | None,
+) -> dict[str, tuple[object, ...]]:
+    """Deduplicate and canonically order binding sets for the wire.
+
+    Duplicate values are eliminated (shipping them twice would inflate the
+    uplink charge for nothing) and the survivors are sorted by
+    ``(type name, repr)`` — a total, deterministic order even for mixed
+    value types — so same-seed runs ship byte-identical IN-lists.
+    """
+    if not bindings:
+        return {}
+    out: dict[str, tuple[object, ...]] = {}
+    for column in sorted(bindings):
+        unique = set(bindings[column])
+        out[column] = tuple(
+            sorted(unique, key=lambda v: (type(v).__name__, repr(v)))
+        )
+    return out
 
 
 class RemoteInterface:
@@ -113,21 +135,73 @@ class RemoteInterface:
         return self._server.has_table(table)
 
     # -- execution ---------------------------------------------------------------------
-    def fetch(self, psj: PSJQuery) -> Relation:
+    def fetch(
+        self,
+        psj: PSJQuery,
+        bindings: dict[str, tuple[object, ...]] | None = None,
+    ) -> Relation:
         """Translate, execute with buffering/pipelining, rebuild the result.
+
+        ``bindings`` maps qualified query columns to binding values — the
+        semijoin reduction.  Values are deduplicated and put into one
+        canonical order here, so the shipped IN-list (and therefore every
+        downstream charge and trace) is deterministic regardless of the
+        order the executor extracted them in.
 
         The buffered stream is drained fully here: remote fetches feed the
         cache, so the whole result is wanted (lazy production only applies
         to cache-resident data, Section 5.1).
         """
         with self.tracer.span("rdi.fetch", view=psj.name) as span:
-            translation = sql_from_psj(psj, self.schema_of)
+            in_lists = canonical_bindings(bindings)
+            if in_lists:
+                self._server.metrics.incr(REMOTE_SEMIJOIN_REQUESTS)
+                self.tracer.event(
+                    "rdi.semijoin",
+                    view=psj.name,
+                    columns=sorted(in_lists),
+                    values=sum(len(v) for v in in_lists.values()),
+                )
+            translation = sql_from_psj(psj, self.schema_of, in_lists=in_lists)
             rows, _schema = self._resilient(
                 lambda: self._attempt_fetch(translation.query)
             )
             self._server.metrics.observe(H_REMOTE_TUPLES_PER_REQUEST, len(rows))
             span.set("tuples", len(rows))
+            if in_lists:
+                span.set("semijoin", True)
             return translation.rebuild(rows)
+
+    def fetch_many(self, psjs: list[PSJQuery]) -> list[Relation]:
+        """Fetch several independent PSJ queries in **one round trip**.
+
+        The paper's cost model makes every round trip expensive; requests
+        that are known together (prefetch companions, generalization
+        groups) are shipped as one batch so ``remote_latency`` is paid
+        once.  Results come back in request order.  The batch is one
+        resilience unit: a failure anywhere retries the whole batch.
+        """
+        if not psjs:
+            return []
+        if len(psjs) == 1:
+            return [self.fetch(psjs[0])]
+        with self.tracer.span("rdi.fetch_batch", count=len(psjs)) as span:
+            translations = [sql_from_psj(p, self.schema_of) for p in psjs]
+            results = self._resilient(
+                lambda: self._attempt_fetch_batch([t.query for t in translations])
+            )
+            self.tracer.event(
+                "rdi.batch",
+                count=len(psjs),
+                views=[p.name for p in psjs],
+                tuples=sum(len(rows) for rows, _schema in results),
+            )
+            relations: list[Relation] = []
+            for translation, (rows, _schema) in zip(translations, results):
+                self._server.metrics.observe(H_REMOTE_TUPLES_PER_REQUEST, len(rows))
+                relations.append(translation.rebuild(rows))
+            span.set("tuples", sum(len(r) for r in relations))
+            return relations
 
     def fetch_base_relation(self, table: str) -> Relation:
         """Fetch one whole base table (prefetch/generalization path)."""
@@ -164,6 +238,24 @@ class RemoteInterface:
         timeout = self._retry.timeout_seconds
         start = network.charged_seconds
         stream = self._server.execute_stream(request, self._buffer_size)
+        return self._drain(stream, start, timeout), stream.schema
+
+    def _attempt_fetch_batch(
+        self, requests: list[DMLRequest]
+    ) -> list[tuple[list[tuple], Schema]]:
+        """One attempt at a whole batch: one round trip, every stream
+        drained under a shared per-request timeout."""
+        network = self._server.network
+        timeout = self._retry.timeout_seconds
+        start = network.charged_seconds
+        streams = self._server.execute_batch(requests, self._buffer_size)
+        return [
+            (self._drain(stream, start, timeout), stream.schema)
+            for stream in streams
+        ]
+
+    def _drain(self, stream, start: float, timeout: float | None) -> list[tuple]:
+        network = self._server.network
         rows: list[tuple] = []
         while True:
             if timeout is not None and network.charged_seconds - start > timeout:
@@ -174,7 +266,7 @@ class RemoteInterface:
             if not buffer:
                 break
             rows.extend(buffer)
-        return rows, stream.schema
+        return rows
 
     def _resilient(self, op: Callable[[], T]) -> T:
         """Run one remote operation under retry/backoff/timeout/breaker."""

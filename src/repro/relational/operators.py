@@ -45,7 +45,7 @@ def select_via_index(
     rows = index.lookup(values)
     if residual:
         predicate = compile_conjunction(residual, relation.schema)
-        rows = [row for row in rows if predicate(row)]
+        rows = (row for row in rows if predicate(row))
     return Relation(relation.schema, rows)
 
 

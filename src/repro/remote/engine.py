@@ -20,7 +20,7 @@ from repro.relational.expressions import Col, Comparison, Lit
 from repro.relational.operators import join, project, select
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.remote.sql import FetchTableQuery, SelectQuery, SqlCol, SqlLit
+from repro.remote.sql import FetchTableQuery, SelectQuery, SqlCol, SqlInList, SqlLit
 
 
 @dataclass
@@ -77,10 +77,30 @@ class PurePythonEngine:
             loaded[ref.alias] = Relation(schema, iter(base))
             touched += len(base)
 
+        # Apply shipped binding sets (semijoin IN-lists) as pushed-down
+        # selections on their table before any join work.
+        for term in query.where:
+            if not isinstance(term, SqlInList):
+                continue
+            alias = term.column.alias
+            if alias not in loaded:
+                raise RemoteDBMSError(f"IN-list references unknown alias: {term}")
+            relation = loaded[alias]
+            position = relation.schema.position(
+                _qualified(alias, term.column.attr)
+            )
+            allowed = set(term.values)
+            loaded[alias] = Relation(
+                relation.schema,
+                (row for row in relation if row[position] in allowed),
+            )
+
         # Classify WHERE conditions.
         local: dict[str, list[Comparison]] = {alias: [] for alias in loaded}
         join_conditions: list[Comparison] = []
         for condition in query.where:
+            if isinstance(condition, SqlInList):
+                continue
             comparison, aliases = _to_comparison(condition)
             if len(aliases) <= 1:
                 alias = next(iter(aliases), None)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.common.clock import CostProfile, SimClock
 from repro.common.metrics import (
+    REMOTE_BINDINGS_SHIPPED,
     REMOTE_REQUESTS,
     REMOTE_SERVER_TUPLES,
     REMOTE_TUPLES,
@@ -63,6 +64,16 @@ class NetworkModel:
         self.metrics.incr(REMOTE_TUPLES, tuples_shipped)
         self._charge(self.profile.transfer_per_tuple * tuples_shipped)
 
+    def charge_uplink(self, values_shipped: int) -> None:
+        """Wire cost of shipping binding values *to* the server (the
+        semijoin IN-list).  Charged so a semijoin reduction only ever wins
+        when the bindings really are cheaper than the unreduced result."""
+        if values_shipped < 0:
+            raise ValueError("values_shipped must be non-negative")
+        if values_shipped:
+            self.metrics.incr(REMOTE_BINDINGS_SHIPPED, values_shipped)
+            self._charge(self.profile.uplink_per_value * values_shipped)
+
     def charge_stall(self, seconds: float) -> None:
         """An injected latency spike: dead time on the wire."""
         if seconds < 0:
@@ -76,13 +87,20 @@ class NetworkModel:
             raise ValueError("backoff seconds must be non-negative")
         self._charge(seconds)
 
-    def request_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
+    def request_cost(
+        self,
+        tuples_touched: float,
+        tuples_shipped: float,
+        bindings_shipped: float = 0.0,
+    ) -> float:
         """The simulated seconds a request would cost (for the planner).
 
-        Pure estimation — charges nothing.
+        Pure estimation — charges nothing.  ``bindings_shipped`` is the
+        uplink term: IN-list values a semijoin-reduced request would carry.
         """
         return (
             self.profile.remote_latency
             + self.profile.server_per_tuple * tuples_touched
             + self.profile.transfer_per_tuple * tuples_shipped
+            + self.profile.uplink_per_value * bindings_shipped
         )

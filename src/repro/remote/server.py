@@ -20,7 +20,7 @@ from typing import Protocol
 
 from repro.common.clock import CostProfile, SimClock
 from repro.common.errors import RemoteDBMSError, TransientRemoteError
-from repro.common.metrics import Metrics
+from repro.common.metrics import REMOTE_BATCHED_REQUESTS, Metrics
 from repro.obs.tracer import Tracer
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -29,7 +29,7 @@ from repro.remote.catalog import Catalog
 from repro.remote.engine import EngineResult, PurePythonEngine
 from repro.remote.faults import FaultInjector, FaultPolicy
 from repro.remote.network import NetworkModel
-from repro.remote.sql import DMLRequest
+from repro.remote.sql import DMLRequest, SelectQuery
 
 
 class Engine(Protocol):
@@ -187,9 +187,15 @@ class RemoteDBMS:
         return self.catalog.has(table)
 
     # -- DML requests -------------------------------------------------------------------
+    def _charge_uplink(self, request: DMLRequest) -> None:
+        """Pay the wire cost of any binding values the request carries."""
+        if isinstance(request, SelectQuery):
+            self.network.charge_uplink(request.binding_values_shipped())
+
     def execute(self, request: DMLRequest) -> Relation:
         """Execute a request and ship the entire result."""
         self.network.charge_request()
+        self._charge_uplink(request)
         self._inject(allow_disconnect=False)
         result = self.engine.execute(request)
         self.network.charge_server_work(result.tuples_touched)
@@ -204,6 +210,7 @@ class RemoteDBMS:
         Section 5.5) but with pipelining only shipped buffers pay transfer.
         """
         self.network.charge_request()
+        self._charge_uplink(request)
         fail_after = self._inject(allow_disconnect=True)
         result = self.engine.execute(request)
         self.network.charge_server_work(result.tuples_touched)
@@ -215,3 +222,37 @@ class RemoteDBMS:
             pipelined=self.supports_pipelining,
             fail_after_buffers=fail_after,
         )
+
+    def execute_batch(
+        self, requests: list[DMLRequest], buffer_size: int = 32
+    ) -> list[RemoteResultStream]:
+        """Execute several independent requests in **one round trip**.
+
+        The round-trip latency is paid once and amortized over every
+        sub-request; server work, uplink bindings, and transfer are still
+        charged per sub-request (the wire carries the same payloads, just
+        without the per-request latency).  An injected mid-stream
+        disconnect is armed on the first stream only — the wire drops once.
+        """
+        if not requests:
+            return []
+        self.network.charge_request()
+        if len(requests) > 1:
+            self.metrics.incr(REMOTE_BATCHED_REQUESTS, len(requests))
+        fail_after = self._inject(allow_disconnect=True)
+        streams: list[RemoteResultStream] = []
+        for index, request in enumerate(requests):
+            self._charge_uplink(request)
+            result = self.engine.execute(request)
+            self.network.charge_server_work(result.tuples_touched)
+            streams.append(
+                RemoteResultStream(
+                    result.relation.rows,
+                    result.relation.schema,
+                    self.network,
+                    buffer_size,
+                    pipelined=self.supports_pipelining,
+                    fail_after_buffers=fail_after if index == 0 else None,
+                )
+            )
+        return streams

@@ -73,6 +73,39 @@ class SqlCondition:
         return f"{self.left} {self.op} {self.right}"
 
 
+@dataclass(frozen=True, slots=True)
+class SqlInList:
+    """``alias.attr IN (v1, v2, ...)`` — a shipped binding set.
+
+    This is the semijoin reduction carrier: the workstation ships the
+    distinct join-column values a cache part pinned, and the server returns
+    only matching tuples.  The value tuple must be non-empty (an empty
+    binding set means the join result is provably empty, so the request
+    should never be shipped at all) and deduplicated by the sender.
+    """
+
+    column: SqlCol
+    values: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise TranslationError(
+                f"empty IN-list for {self.column}: short-circuit instead of shipping"
+            )
+        if len(set(self.values)) != len(self.values):
+            raise TranslationError(
+                f"IN-list for {self.column} contains duplicate binding values"
+            )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(render_literal(v) for v in self.values)
+        return f"{self.column} IN ({rendered})"
+
+
+#: Anything the WHERE conjunction may contain.
+WhereTerm = Union[SqlCondition, SqlInList]
+
+
 @dataclass(frozen=True)
 class SelectQuery:
     """A PSJ request: SELECT columns FROM tables WHERE conjunction.
@@ -83,7 +116,7 @@ class SelectQuery:
 
     tables: tuple[TableRef, ...]
     select: tuple[SqlCol, ...]
-    where: tuple[SqlCondition, ...] = ()
+    where: tuple[WhereTerm, ...] = ()
     distinct: bool = True
 
     def __post_init__(self) -> None:
@@ -99,6 +132,12 @@ class SelectQuery:
             if col.alias not in known:
                 raise TranslationError(f"SELECT column {col} references unknown alias")
         for condition in self.where:
+            if isinstance(condition, SqlInList):
+                if condition.column.alias not in known:
+                    raise TranslationError(
+                        f"IN-list column {condition.column} references unknown alias"
+                    )
+                continue
             for operand in (condition.left, condition.right):
                 if isinstance(operand, SqlCol) and operand.alias not in known:
                     raise TranslationError(f"WHERE operand {operand} references unknown alias")
@@ -106,6 +145,12 @@ class SelectQuery:
     def referenced_tables(self) -> set[str]:
         """The set of table names in the FROM clause."""
         return {t.table for t in self.tables}
+
+    def binding_values_shipped(self) -> int:
+        """Total IN-list values this request ships to the server."""
+        return sum(
+            len(term.values) for term in self.where if isinstance(term, SqlInList)
+        )
 
     def __str__(self) -> str:
         return render_sql(self)

@@ -25,6 +25,7 @@ from repro.remote.sql import (
     FetchTableQuery,
     SelectQuery,
     SqlCol,
+    SqlInList,
     SqlLit,
     render_literal,
 )
@@ -106,6 +107,11 @@ class SqliteEngine:
         if query.where:
             parts = []
             for condition in query.where:
+                if isinstance(condition, SqlInList):
+                    column = f"{_quote(condition.column.alias)}.{_quote(condition.column.attr)}"
+                    values = ", ".join(render_literal(v) for v in condition.values)
+                    parts.append(f"{column} IN ({values})")
+                    continue
                 left = self._render_operand(condition.left)
                 right = self._render_operand(condition.right)
                 parts.append(f"{left} {condition.op} {right}")

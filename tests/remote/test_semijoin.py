@@ -1,0 +1,238 @@
+"""Tests for shipped IN-lists (semijoin bindings) and batched round trips."""
+
+import pytest
+
+from repro.common.errors import TranslationError, TransientRemoteError
+from repro.common.metrics import (
+    REMOTE_BATCHED_REQUESTS,
+    REMOTE_BINDINGS_SHIPPED,
+    REMOTE_REQUESTS,
+)
+from repro.relational.relation import relation_from_columns
+from repro.remote.engine import PurePythonEngine
+from repro.remote.faults import FaultPolicy
+from repro.remote.server import RemoteDBMS
+from repro.remote.sql import (
+    FetchTableQuery,
+    SelectQuery,
+    SqlCol,
+    SqlCondition,
+    SqlInList,
+    SqlLit,
+    TableRef,
+    render_sql,
+)
+from repro.remote.sqlite_backend import SqliteEngine
+
+
+def load_sample(engine):
+    engine.create_table(
+        relation_from_columns(
+            "emp",
+            id=[1, 2, 3, 4],
+            name=["ann", "bob", "cat", "dan"],
+            dept=["hw", "sw", "sw", "hw"],
+        )
+    )
+    engine.create_table(
+        relation_from_columns("dept", code=["hw", "sw"], site=["nj", "ca"])
+    )
+    return engine
+
+
+@pytest.fixture(params=["pure", "sqlite"])
+def engine(request):
+    if request.param == "pure":
+        yield load_sample(PurePythonEngine())
+        return
+    backend = load_sample(SqliteEngine())
+    yield backend
+    backend.close()
+
+
+def in_list_query(values=(1, 3), extra_where=()):
+    return SelectQuery(
+        tables=(TableRef("emp", "e"),),
+        select=(SqlCol("e", "id"), SqlCol("e", "name")),
+        where=(SqlInList(SqlCol("e", "id"), tuple(values)),) + tuple(extra_where),
+    )
+
+
+class TestSqlInList:
+    def test_empty_values_rejected(self):
+        # An empty binding set proves the join empty; shipping it is a bug.
+        with pytest.raises(TranslationError):
+            SqlInList(SqlCol("e", "id"), ())
+
+    def test_duplicate_values_rejected(self):
+        # The sender must deduplicate: duplicates inflate the uplink charge.
+        with pytest.raises(TranslationError):
+            SqlInList(SqlCol("e", "id"), (1, 2, 1))
+
+    def test_renders_as_sql(self):
+        term = SqlInList(SqlCol("e", "dept"), ("sw", "hw"))
+        assert str(term) == "e.dept IN ('sw', 'hw')"
+
+    def test_render_sql_includes_in_list(self):
+        sql = render_sql(in_list_query())
+        assert "e.id IN (1, 3)" in sql
+
+    def test_alias_must_exist(self):
+        with pytest.raises(TranslationError):
+            SelectQuery(
+                tables=(TableRef("emp", "e"),),
+                select=(SqlCol("e", "id"),),
+                where=(SqlInList(SqlCol("ghost", "id"), (1,)),),
+            )
+
+    def test_binding_values_shipped_sums_all_in_lists(self):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),),
+            select=(SqlCol("e", "id"),),
+            where=(
+                SqlInList(SqlCol("e", "id"), (1, 2, 3)),
+                SqlInList(SqlCol("e", "dept"), ("sw",)),
+                SqlCondition(SqlCol("e", "id"), ">", SqlLit(0)),
+            ),
+        )
+        assert query.binding_values_shipped() == 4
+
+    def test_no_in_list_ships_no_bindings(self):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"),), select=(SqlCol("e", "id"),)
+        )
+        assert query.binding_values_shipped() == 0
+
+
+class TestEngineInList:
+    def test_filters_to_listed_values(self, engine):
+        result = engine.execute(in_list_query()).relation
+        assert set(result.rows) == {(1, "ann"), (3, "cat")}
+
+    def test_composes_with_conditions(self, engine):
+        query = in_list_query(
+            values=(1, 2, 3),
+            extra_where=(SqlCondition(SqlCol("e", "dept"), "=", SqlLit("sw")),),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {(2, "bob"), (3, "cat")}
+
+    def test_join_with_in_list(self, engine):
+        query = SelectQuery(
+            tables=(TableRef("emp", "e"), TableRef("dept", "d")),
+            select=(SqlCol("e", "name"), SqlCol("d", "site")),
+            where=(
+                SqlCondition(SqlCol("e", "dept"), "=", SqlCol("d", "code")),
+                SqlInList(SqlCol("e", "id"), (2, 4)),
+            ),
+        )
+        result = engine.execute(query).relation
+        assert set(result.rows) == {("bob", "ca"), ("dan", "nj")}
+
+    def test_engine_parity(self):
+        pure = load_sample(PurePythonEngine())
+        lite = load_sample(SqliteEngine())
+        query = in_list_query(values=(4, 2))
+        try:
+            assert set(pure.execute(query).relation.rows) == set(
+                lite.execute(query).relation.rows
+            )
+        finally:
+            lite.close()
+
+
+class TestUplinkCharging:
+    def test_execute_charges_uplink_per_binding(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        before = server.network.charged_seconds
+        server.execute(in_list_query(values=(1, 3)))
+        charged = server.network.charged_seconds - before
+        assert server.metrics.get(REMOTE_BINDINGS_SHIPPED) == 2
+        baseline = (
+            server.profile.remote_latency
+            + server.profile.server_per_tuple * 4
+            + server.profile.transfer_per_tuple * 2
+        )
+        assert charged == pytest.approx(baseline + 2 * server.profile.uplink_per_value)
+
+    def test_plain_request_ships_no_bindings(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        server.execute(FetchTableQuery("emp"))
+        assert server.metrics.get(REMOTE_BINDINGS_SHIPPED) == 0
+
+    def test_streamed_request_charges_uplink_too(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        stream = server.execute_stream(in_list_query(values=(1,)))
+        while stream.next_buffer():
+            pass
+        assert server.metrics.get(REMOTE_BINDINGS_SHIPPED) == 1
+
+    def test_negative_count_rejected(self):
+        server = RemoteDBMS()
+        with pytest.raises(ValueError):
+            server.network.charge_uplink(-1)
+
+
+class TestExecuteBatch:
+    def requests(self):
+        return [FetchTableQuery("emp"), FetchTableQuery("dept")]
+
+    def test_batch_is_one_round_trip(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        streams = server.execute_batch(self.requests())
+        for stream in streams:
+            while stream.next_buffer():
+                pass
+        assert server.metrics.get(REMOTE_REQUESTS) == 1
+        assert server.metrics.get(REMOTE_BATCHED_REQUESTS) == 2
+
+    def test_batch_cheaper_than_sequential_requests(self):
+        batched = RemoteDBMS()
+        load_sample(batched.engine)
+        for stream in batched.execute_batch(self.requests()):
+            while stream.next_buffer():
+                pass
+
+        sequential = RemoteDBMS()
+        load_sample(sequential.engine)
+        for request in self.requests():
+            stream = sequential.execute_stream(request)
+            while stream.next_buffer():
+                pass
+
+        saved = sequential.network.charged_seconds - batched.network.charged_seconds
+        assert saved == pytest.approx(batched.profile.remote_latency)
+
+    def test_empty_batch_is_free(self):
+        server = RemoteDBMS()
+        assert server.execute_batch([]) == []
+        assert server.metrics.get(REMOTE_REQUESTS) == 0
+
+    def test_single_request_batch_not_counted_as_batched(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        server.execute_batch([FetchTableQuery("emp")])
+        assert server.metrics.get(REMOTE_BATCHED_REQUESTS) == 0
+
+    def test_batch_results_in_request_order(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        streams = server.execute_batch(self.requests())
+        assert streams[0].schema.name == "emp"
+        assert streams[1].schema.name == "dept"
+
+    def test_batch_carries_uplink_bindings(self):
+        server = RemoteDBMS()
+        load_sample(server.engine)
+        server.execute_batch([in_list_query(values=(1, 2)), FetchTableQuery("dept")])
+        assert server.metrics.get(REMOTE_BINDINGS_SHIPPED) == 2
+
+    def test_injected_fault_fails_the_whole_batch(self):
+        server = RemoteDBMS(faults=FaultPolicy(seed=3, transient_rate=1.0))
+        load_sample(server.engine)
+        with pytest.raises(TransientRemoteError):
+            server.execute_batch(self.requests())
