@@ -157,5 +157,16 @@ class InferenceError(BraidError):
     """The inference engine failed while solving an AI query."""
 
 
+class InvariantViolation(BraidError):
+    """An internal consistency check failed.
+
+    Raised by the ``check_invariants()`` hooks on the cache, planner,
+    result streams, and metrics ledger (see :mod:`repro.qa.invariants`).
+    A violation always indicates a bug in BrAID itself, never bad input:
+    the checks assert properties the implementation is supposed to
+    maintain unconditionally.
+    """
+
+
 class KnowledgeBaseError(BraidError):
     """A rule or assertion is inconsistent with the knowledge base."""

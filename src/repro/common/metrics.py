@@ -230,6 +230,50 @@ class Metrics:
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self.counters.items()))
 
+    def check_invariants(self) -> None:
+        """Audit the ledger (cheap, read-only, recursive over scopes).
+
+        Raises :class:`~repro.common.errors.InvariantViolation` on any
+        negative or non-finite counter, a histogram whose bookkeeping
+        disagrees with its observations, or a child scope whose parent
+        pointer does not lead back here.  Counters only ever grow and
+        observations are plain appends, so none of these can happen
+        without a bug in the component doing the recording.
+
+        Note there is no parent-equals-sum-of-children check: high-water
+        gauges (:meth:`gauge_max`) keep the *max* over scopes, and a
+        dropped scope leaves its past increments behind, so the aggregate
+        is intentionally not a sum.
+        """
+        import math
+
+        from repro.common.errors import InvariantViolation
+
+        where = self.scope_name or "<root>"
+        for name, value in self.counters.items():
+            if not math.isfinite(value):
+                raise InvariantViolation(
+                    f"metrics {where}: counter {name!r} is non-finite ({value})"
+                )
+            if value < 0:
+                raise InvariantViolation(
+                    f"metrics {where}: counter {name!r} is negative ({value})"
+                )
+        for name, histogram in self.histograms.items():
+            for value in histogram.values:
+                if not math.isfinite(value):
+                    raise InvariantViolation(
+                        f"metrics {where}: histogram {name!r} holds a "
+                        f"non-finite observation ({value})"
+                    )
+        for name, child in self._children.items():
+            if child.parent is not self:
+                raise InvariantViolation(
+                    f"metrics {where}: scope {name!r} does not point back "
+                    "to its parent"
+                )
+            child.check_invariants()
+
     def format(self, prefix: str = "") -> str:
         """Human-readable report, optionally restricted to ``prefix``.
 

@@ -357,6 +357,82 @@ class Cache:
         """Elements awaiting reclamation (discarded while pinned)."""
         return list(self._condemned.values())
 
+    # -- invariants -----------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Audit the cache's internal consistency (cheap, read-only).
+
+        Raises :class:`~repro.common.errors.InvariantViolation` when any
+        structural property the implementation must maintain is broken:
+        the definition-key bijection, the predicate index, refcount sanity,
+        and the disjointness/reachability rules for the condemned set.
+        Called from tests and after every fuzzer query.
+        """
+        from repro.common.errors import InvariantViolation
+
+        if self.epoch < 0:
+            raise InvariantViolation(f"cache epoch is negative: {self.epoch}")
+        live_keys: set[tuple] = set()
+        for element_id, element in self._elements.items():
+            if element.element_id != element_id:
+                raise InvariantViolation(
+                    f"element stored under {element_id!r} calls itself "
+                    f"{element.element_id!r}"
+                )
+            if element.pin_count < 0:
+                raise InvariantViolation(
+                    f"{element_id}: negative pin count {element.pin_count}"
+                )
+            if element.use_count < 0:
+                raise InvariantViolation(
+                    f"{element_id}: negative use count {element.use_count}"
+                )
+            if element.condemned:
+                raise InvariantViolation(
+                    f"{element_id} is live but flagged condemned"
+                )
+            if element.estimated_bytes() < 0:
+                raise InvariantViolation(
+                    f"{element_id}: negative size estimate"
+                )
+            key = element.definition.canonical_key()
+            live_keys.add(key)
+            if self._by_key.get(key) != element_id:
+                raise InvariantViolation(
+                    f"{element_id} is not reachable through its canonical key"
+                )
+            for pred in set(element.definition.predicates()):
+                if element_id not in self._by_predicate.get(pred, ()):
+                    raise InvariantViolation(
+                        f"{element_id} missing from predicate index for {pred!r}"
+                    )
+        if len(self._by_key) != len(self._elements):
+            raise InvariantViolation(
+                f"key index has {len(self._by_key)} entries for "
+                f"{len(self._elements)} elements"
+            )
+        for pred, members in self._by_predicate.items():
+            if not members:
+                raise InvariantViolation(f"empty predicate-index bucket {pred!r}")
+            for element_id in members:
+                if element_id not in self._elements:
+                    raise InvariantViolation(
+                        f"predicate index for {pred!r} references retired "
+                        f"element {element_id}"
+                    )
+        for element_id, element in self._condemned.items():
+            if element_id in self._elements:
+                raise InvariantViolation(
+                    f"{element_id} is both live and condemned"
+                )
+            if not element.condemned:
+                raise InvariantViolation(
+                    f"{element_id} sits in the condemned set without the flag"
+                )
+            if element.pin_count <= 0:
+                raise InvariantViolation(
+                    f"condemned {element_id} has no pins and was never reclaimed"
+                )
+
     def clear(self) -> None:
         """Drop every element and index entry (pins notwithstanding)."""
         self._elements.clear()

@@ -164,6 +164,10 @@ class CacheManagementSystem:
             else None
         )
         self._last_degraded = False
+        #: The most recent plan the planner produced for this CMS (the one
+        #: actually executed, post-replan).  Purely observational: the qa
+        #: subsystem audits it after every query.
+        self.last_plan = None
         self.planner = QueryPlanner(
             self.cache,
             self.advice_manager,
@@ -375,8 +379,25 @@ class CacheManagementSystem:
         return self.query(definition.instantiate(bindings))
 
     # -- internals -------------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Audit every auditable structure this CMS touches.
+
+        Runs the ``check_invariants`` hooks of the cache, the metrics
+        ledger (from its root, so sibling session scopes are covered too),
+        and the last produced plan.  Cheap enough to call after every
+        query; the fuzzer does exactly that.
+        """
+        self.cache.check_invariants()
+        root = self.metrics
+        while root.parent is not None:
+            root = root.parent
+        root.check_invariants()
+        if self.last_plan is not None:
+            self.last_plan.check_invariants()
+
     def _answer_psj(self, psj: PSJQuery) -> Relation | GeneratorRelation:
         plan = self.planner.plan(psj)
+        self.last_plan = plan
 
         # Generalization (step 1): fetch the general form first, replan.
         # A failed prefetch must not fail the query it was meant to help.
@@ -394,6 +415,7 @@ class CacheManagementSystem:
                 self.metrics.incr(CACHE_GENERALIZATIONS)
                 self.tracer.event("cms.generalized", view=psj.name, general=general.name)
             plan = self.planner.plan(psj)
+            self.last_plan = plan
 
         if plan.strategy == "exact":
             self.metrics.incr(CACHE_HITS_EXACT)
@@ -417,6 +439,7 @@ class CacheManagementSystem:
                 self.tracer.event("cms.stale_replan", view=psj.name)
                 logger.debug("stale plan for %s: replanning", psj.name)
                 plan = self.planner.plan(psj)
+                self.last_plan = plan
                 result = self.monitor.execute(plan)
         except RemoteDBMSError as error:
             # Retries are exhausted (or the breaker is open): degrade to

@@ -96,6 +96,52 @@ class ResultStream:
             return self._relation.to_extension()
         return self._relation
 
+    def check_invariants(self) -> None:
+        """Audit the stream's internal consistency (cheap, read-only).
+
+        Raises :class:`~repro.common.errors.InvariantViolation` when the
+        produced rows violate set semantics or the schema arity, or when a
+        drained generator still yields tuples (the drain-once contract:
+        after exhaustion the memo *is* the extension and iteration must
+        replay it exactly, producing nothing new).
+        """
+        from repro.common.errors import InvariantViolation
+
+        arity = self._relation.schema.arity
+        if isinstance(self._relation, GeneratorRelation):
+            memo = self._relation._memo
+        else:
+            memo = self._relation
+        if len(memo._rows) != len(memo._row_set):
+            raise InvariantViolation(
+                f"stream {self.name}: {len(memo._rows)} rows in order but "
+                f"{len(memo._row_set)} distinct — duplicate production"
+            )
+        for row in memo._rows:
+            if not isinstance(row, tuple):
+                raise InvariantViolation(
+                    f"stream {self.name}: produced a non-tuple row {row!r}"
+                )
+            if len(row) != arity:
+                raise InvariantViolation(
+                    f"stream {self.name}: row {row!r} has arity {len(row)}, "
+                    f"schema says {arity}"
+                )
+        if isinstance(self._relation, GeneratorRelation) and self._relation.exhausted:
+            before = self._relation.produced_count
+            replayed = sum(1 for _ in self._relation)
+            if self._relation.produced_count != before:
+                raise InvariantViolation(
+                    f"stream {self.name}: drained generator produced "
+                    f"{self._relation.produced_count - before} tuples after "
+                    "exhaustion"
+                )
+            if replayed != before:
+                raise InvariantViolation(
+                    f"stream {self.name}: drained generator replayed "
+                    f"{replayed} of {before} memoized tuples"
+                )
+
 
 class ExecutionMonitor:
     """Executes query plans, charging simulated costs."""

@@ -119,6 +119,88 @@ class QueryPlan:
                 elements.append(part.match.element)
         return elements
 
+    def check_invariants(self) -> None:
+        """Audit this plan's structural consistency (cheap, read-only).
+
+        Raises :class:`~repro.common.errors.InvariantViolation` when the
+        plan could not possibly execute correctly: an occurrence of the
+        query left uncovered by any part, a part claiming a tag the query
+        does not have, a missing epoch stamp on a plan that reads the
+        cache, a lazy plan that touches the remote DBMS, or a semijoin
+        binding whose source column no cache part exposes.
+        """
+        from repro.common.errors import InvariantViolation
+
+        query_tags = {occ.tag for occ in self.query.occurrences}
+        if self.strategy in ("unsatisfiable", "unit"):
+            return
+        if self.strategy in ("exact", "cache-full"):
+            if self.strategy == "cache-full" and self.full_match is None:
+                raise InvariantViolation(
+                    f"cache-full plan for {self.query.name} has no full match"
+                )
+            if self.epoch < 0:
+                raise InvariantViolation(
+                    f"{self.strategy} plan for {self.query.name} was never "
+                    "stamped with a cache epoch"
+                )
+            return
+        covered: set[str] = set()
+        for part in self.parts:
+            if not part.tags <= query_tags:
+                raise InvariantViolation(
+                    f"plan part covers unknown tags "
+                    f"{sorted(part.tags - query_tags)} of {self.query.name}"
+                )
+            if covered & part.tags:
+                raise InvariantViolation(
+                    f"tags {sorted(covered & part.tags)} of {self.query.name} "
+                    "covered by more than one plan part"
+                )
+            covered |= part.tags
+        missing = query_tags - covered
+        if missing:
+            raise InvariantViolation(
+                f"occurrences {sorted(missing)} of {self.query.name} are "
+                f"covered by no part of this {self.strategy} plan"
+            )
+        if self.lazy and self.touches_remote:
+            raise InvariantViolation(
+                f"lazy plan for {self.query.name} touches the remote DBMS"
+            )
+        reads_cache = any(isinstance(p, CachePart) for p in self.parts)
+        if reads_cache and self.epoch < 0:
+            raise InvariantViolation(
+                f"plan for {self.query.name} reads cache parts but was "
+                "never stamped with a cache epoch"
+            )
+        cache_columns = {
+            col
+            for part in self.parts
+            if isinstance(part, CachePart)
+            for col in part.columns
+        }
+        remote_columns = {
+            col
+            for part in self.parts
+            if isinstance(part, RemotePart)
+            for col in part.sub_query.all_columns()
+        }
+        for part in self.parts:
+            if isinstance(part, RemotePart):
+                for spec in part.bind_columns:
+                    if spec.cache_column not in cache_columns:
+                        raise InvariantViolation(
+                            f"semijoin binding on {spec.remote_column} draws "
+                            f"from {spec.cache_column}, which no cache part "
+                            "exposes"
+                        )
+                    if spec.remote_column not in remote_columns:
+                        raise InvariantViolation(
+                            f"semijoin binding targets {spec.remote_column}, "
+                            "which the remote sub-query does not mention"
+                        )
+
     def describe(self) -> str:
         """A readable multi-line rendering of the plan."""
         lines = [f"plan[{self.strategy}] for {self.query.name}"]

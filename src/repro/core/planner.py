@@ -77,6 +77,10 @@ class QueryPlanner:
         self.remote_available = (
             remote_available if remote_available is not None else (lambda: True)
         )
+        #: When set, every produced plan is run through
+        #: :meth:`QueryPlan.check_invariants` before it leaves the planner.
+        #: Off by default (tests and the fuzzer flip it on).
+        self.audit = False
 
     # -- entry point -------------------------------------------------------------
     def plan(self, query: PSJQuery) -> QueryPlan:
@@ -89,6 +93,8 @@ class QueryPlanner:
         with self.tracer.span("planner.plan", view=query.name) as span:
             plan = self._plan(query)
             plan.epoch = self.cache.epoch
+            if self.audit:
+                plan.check_invariants()
             if self.tracer.enabled:
                 self._trace_decision(span, query, plan)
             return plan

@@ -58,15 +58,30 @@ def canonical_bindings(
     uplink charge for nothing) and the survivors are sorted by
     ``(type name, repr)`` — a total, deterministic order even for mixed
     value types — so same-seed runs ship byte-identical IN-lists.
+
+    Deduplication is by Python equality (what the IN-list check applies),
+    but the *representative* of each equality class is chosen canonically:
+    values are sorted first, then the earliest of each class wins.  A set
+    like ``{1, 1.0}`` collapses either way (``1 == 1.0``), but without the
+    pre-sort the survivor would depend on insertion order — and the same
+    bindings could ship as ``IN (1)`` on one run and ``IN (1.0)`` on the
+    next.
     """
     if not bindings:
         return {}
     out: dict[str, tuple[object, ...]] = {}
     for column in sorted(bindings):
-        unique = set(bindings[column])
-        out[column] = tuple(
-            sorted(unique, key=lambda v: (type(v).__name__, repr(v)))
+        ordered = sorted(
+            bindings[column], key=lambda v: (type(v).__name__, repr(v))
         )
+        unique: list[object] = []
+        seen: set[object] = set()
+        for value in ordered:
+            if value in seen:
+                continue
+            seen.add(value)
+            unique.append(value)
+        out[column] = tuple(unique)
     return out
 
 

@@ -1,0 +1,68 @@
+"""repro.qa — deterministic differential fuzzing and invariant auditing.
+
+The correctness backstop for the whole bridge: seeded case generation
+(:mod:`repro.qa.generator`), differential execution against an oracle
+hierarchy (:mod:`repro.qa.differential`), invariant aggregation
+(:mod:`repro.qa.invariants`), and failure shrinking + replayable repro
+files (:mod:`repro.qa.shrink`).  ``scripts/braid_fuzz.py`` is the CLI.
+"""
+
+from repro.qa.generator import (
+    CaseConfig,
+    CaseGenerator,
+    FuzzCase,
+    canonical_json,
+    encode_rows,
+    fingerprint,
+)
+from repro.qa.differential import (
+    VARIANTS,
+    CaseReport,
+    Divergence,
+    FuzzReport,
+    QueryOutcome,
+    case_failure,
+    run_case,
+    run_corpus,
+)
+from repro.qa.invariants import (
+    InvariantViolation,
+    audit,
+    audit_cms,
+    audit_stream,
+    collect_violations,
+)
+from repro.qa.shrink import (
+    ShrinkResult,
+    load_repro,
+    replay,
+    shrink,
+    write_repro,
+)
+
+__all__ = [
+    "CaseConfig",
+    "CaseGenerator",
+    "FuzzCase",
+    "canonical_json",
+    "encode_rows",
+    "fingerprint",
+    "VARIANTS",
+    "CaseReport",
+    "Divergence",
+    "FuzzReport",
+    "QueryOutcome",
+    "case_failure",
+    "run_case",
+    "run_corpus",
+    "InvariantViolation",
+    "audit",
+    "audit_cms",
+    "audit_stream",
+    "collect_violations",
+    "ShrinkResult",
+    "load_repro",
+    "replay",
+    "shrink",
+    "write_repro",
+]

@@ -1,0 +1,80 @@
+"""The degraded-mode equality contract, fuzzed over PR-1 fault schedules.
+
+The contract (ROADMAP / PR-1): while the remote link is failing, the CMS
+may serve answers from cached or archived state — but every such answer
+must be *tagged* ``degraded``, and every answer it does NOT tag degraded
+must still be tuple-set-equal to the oracle.  Degradation is never an
+excuse for silently wrong rows, and a healthy link must never degrade.
+"""
+
+from repro.qa import CaseGenerator, FuzzCase, run_case, run_corpus
+from repro.qa.generator import CaseConfig
+
+#: Corpus size for the faulty-profile sweep (case 5 of seed 0 is the
+#: first to exercise a degraded answer, so 20 covers the interesting mix).
+CORPUS = 20
+
+
+def faulty_reports():
+    cases = CaseGenerator(0, CaseConfig.faulty()).corpus(CORPUS)
+    report = run_corpus(cases, seed=0, keep_reports=True)
+    return {case.index: case for case in cases}, report
+
+
+class TestDegradedContract:
+    def test_faulted_corpus_has_no_divergences(self):
+        _, report = faulty_reports()
+        assert report.clean, (
+            f"divergences={report.divergences} violations={report.violations}"
+        )
+
+    def test_degradation_actually_occurs(self):
+        # The contract is vacuous if the fuzzer never reaches the degraded
+        # paths; the outage-window model guarantees it does.
+        _, report = faulty_reports()
+        assert report.degraded_answers >= 1
+
+    def test_only_the_faulted_variant_degrades_and_only_after_onset(self):
+        cases, report = faulty_reports()
+        for case_report in report.reports:
+            case = cases[case_report.case_index]
+            for outcome in case_report.outcomes:
+                if outcome.status in ("degraded", "error"):
+                    assert outcome.variant == "full"
+                    assert case.fault is not None
+                    assert outcome.query_index >= case.fault_onset
+
+    def test_non_degraded_answers_are_oracle_equal(self):
+        # Zero divergences already implies this; spell the contract out by
+        # re-deriving the oracle digests for one case that degraded.
+        cases, report = faulty_reports()
+        degraded_case = next(
+            case_report
+            for case_report in report.reports
+            if any(o.status == "degraded" for o in case_report.outcomes)
+        )
+        case = cases[degraded_case.case_index]
+        from repro.caql.eval import evaluate_conjunctive
+        from repro.qa import encode_rows, fingerprint
+
+        database = case.database()
+        expected = [
+            fingerprint(encode_rows(evaluate_conjunctive(q, database.__getitem__).rows))
+            for q in case.parsed_queries()
+        ]
+        for outcome in degraded_case.outcomes:
+            if outcome.status == "ok":
+                assert outcome.digest == expected[outcome.query_index]
+
+    def test_removing_the_fault_removes_the_degradation(self):
+        cases, report = faulty_reports()
+        degraded_index = next(
+            case_report.case_index
+            for case_report in report.reports
+            if any(o.status == "degraded" for o in case_report.outcomes)
+        )
+        healed = FuzzCase.from_dict(cases[degraded_index].to_dict())
+        healed.fault = None
+        healed_report = run_case(healed)
+        assert not healed_report.failed
+        assert healed_report.degraded_answers == 0

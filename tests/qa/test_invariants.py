@@ -1,0 +1,254 @@
+"""The invariant hooks must actually catch corruption.
+
+Every ``check_invariants`` the fuzzer calls is exercised here twice: once
+on a healthy object (no raise) and once after deliberately corrupting the
+internal structures it guards (must raise).  Without these tests a hook
+could silently rot into a no-op and the fuzzer would audit nothing.
+"""
+
+import pytest
+
+from repro.caql.eval import evaluate_psj, psj_of, result_schema
+from repro.caql.parser import parse_query
+from repro.common.metrics import Metrics
+from repro.core.cache import Cache
+from repro.core.executor import ResultStream
+from repro.core.plan import BindingSpec, QueryPlan, RemotePart
+from repro.qa import InvariantViolation, audit, audit_cms, collect_violations
+from repro.relational.generator import GeneratorRelation
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+DB = {
+    "r": Relation(result_schema("r", 2), [(1, 2), (2, 3), (3, 4)]),
+    "s": Relation(result_schema("s", 2), [(2, 9), (3, 8)]),
+}
+
+
+def stored_cache():
+    cache = Cache()
+    psj = psj_of(parse_query("e(X, Y) :- r(X, Y)"))
+    element = cache.store(psj, evaluate_psj(psj, DB.__getitem__))
+    return cache, element
+
+
+class TestCacheInvariants:
+    def test_healthy_cache_passes(self):
+        cache, _ = stored_cache()
+        cache.check_invariants()
+
+    def test_negative_pin_count(self):
+        cache, element = stored_cache()
+        element.pin_count = -1
+        with pytest.raises(InvariantViolation, match="pin count"):
+            cache.check_invariants()
+
+    def test_live_element_flagged_condemned(self):
+        cache, element = stored_cache()
+        element.condemned = True
+        with pytest.raises(InvariantViolation, match="condemned"):
+            cache.check_invariants()
+
+    def test_element_missing_from_predicate_index(self):
+        cache, element = stored_cache()
+        cache._by_predicate["r"].discard(element.element_id)
+        with pytest.raises(InvariantViolation, match="predicate index"):
+            cache.check_invariants()
+
+    def test_stray_key_index_entry(self):
+        cache, element = stored_cache()
+        cache._by_key[("bogus",)] = element.element_id
+        with pytest.raises(InvariantViolation, match="key index"):
+            cache.check_invariants()
+
+    def test_predicate_bucket_referencing_retired_element(self):
+        cache, _ = stored_cache()
+        cache._by_predicate["ghost"] = {"e999"}
+        with pytest.raises(InvariantViolation, match="retired"):
+            cache.check_invariants()
+
+    def test_empty_predicate_bucket(self):
+        cache, _ = stored_cache()
+        cache._by_predicate["ghost"] = set()
+        with pytest.raises(InvariantViolation, match="empty"):
+            cache.check_invariants()
+
+
+def remote_part(psj, tags, **kwargs):
+    return RemotePart(
+        sub_query=psj, columns=tuple(psj.projection), tags=frozenset(tags), **kwargs
+    )
+
+
+class TestPlanInvariants:
+    PSJ = psj_of(parse_query("q(X, Z) :- r(X, Y), s(Y, Z)"))
+    TAGS = sorted(occ.tag for occ in PSJ.occurrences)
+
+    def test_remote_plan_covering_everything_passes(self):
+        plan = QueryPlan(self.PSJ, "remote", parts=(remote_part(self.PSJ, self.TAGS),))
+        plan.check_invariants()
+
+    def test_terminal_strategies_are_always_consistent(self):
+        QueryPlan(self.PSJ, "unsatisfiable").check_invariants()
+        QueryPlan(self.PSJ, "unit").check_invariants()
+
+    def test_uncovered_occurrence(self):
+        plan = QueryPlan(
+            self.PSJ, "remote", parts=(remote_part(self.PSJ, self.TAGS[:1]),)
+        )
+        with pytest.raises(InvariantViolation, match="covered by no part"):
+            plan.check_invariants()
+
+    def test_unknown_tag(self):
+        plan = QueryPlan(
+            self.PSJ, "remote", parts=(remote_part(self.PSJ, ["t9"]),)
+        )
+        with pytest.raises(InvariantViolation, match="unknown tags"):
+            plan.check_invariants()
+
+    def test_double_coverage(self):
+        plan = QueryPlan(
+            self.PSJ,
+            "remote",
+            parts=(
+                remote_part(self.PSJ, self.TAGS),
+                remote_part(self.PSJ, self.TAGS[:1]),
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="more than one"):
+            plan.check_invariants()
+
+    def test_lazy_plan_touching_remote(self):
+        plan = QueryPlan(
+            self.PSJ, "remote", parts=(remote_part(self.PSJ, self.TAGS),), lazy=True
+        )
+        with pytest.raises(InvariantViolation, match="lazy"):
+            plan.check_invariants()
+
+    def test_cache_full_without_full_match(self):
+        plan = QueryPlan(self.PSJ, "cache-full", epoch=0)
+        with pytest.raises(InvariantViolation, match="no full match"):
+            plan.check_invariants()
+
+    def test_exact_plan_without_epoch_stamp(self):
+        plan = QueryPlan(self.PSJ, "exact")  # epoch left at -1
+        with pytest.raises(InvariantViolation, match="epoch"):
+            plan.check_invariants()
+        plan.epoch = 0
+        plan.check_invariants()
+
+    def test_binding_from_a_column_no_cache_part_exposes(self):
+        remote_column = sorted(self.PSJ.all_columns())[0]
+        part = remote_part(
+            self.PSJ,
+            self.TAGS,
+            bind_columns=(
+                BindingSpec(remote_column=remote_column, cache_column="t9.a9"),
+            ),
+        )
+        plan = QueryPlan(self.PSJ, "hybrid", parts=(part,), epoch=0)
+        with pytest.raises(InvariantViolation):
+            plan.check_invariants()
+
+
+class TestMetricsInvariants:
+    def test_healthy_ledger_passes(self):
+        metrics = Metrics()
+        metrics.incr("remote.requests")
+        metrics.observe("latency", 1.5)
+        metrics.scope("session").incr("cache.hits")
+        metrics.check_invariants()
+
+    def test_negative_counter(self):
+        metrics = Metrics()
+        metrics.counters["x"] = -1
+        with pytest.raises(InvariantViolation, match="negative"):
+            metrics.check_invariants()
+
+    def test_non_finite_counter(self):
+        metrics = Metrics()
+        metrics.counters["x"] = float("inf")
+        with pytest.raises(InvariantViolation, match="non-finite"):
+            metrics.check_invariants()
+
+    def test_non_finite_observation(self):
+        metrics = Metrics()
+        metrics.observe("h", 1.0)
+        metrics.histograms["h"].values.append(float("nan"))
+        with pytest.raises(InvariantViolation, match="non-finite"):
+            metrics.check_invariants()
+
+    def test_child_scope_with_broken_parent_pointer(self):
+        metrics = Metrics()
+        child = metrics.scope("child")
+        child.parent = None
+        with pytest.raises(InvariantViolation, match="parent"):
+            metrics.check_invariants()
+
+    def test_corruption_in_a_child_scope_is_found(self):
+        metrics = Metrics()
+        metrics.scope("child").counters["x"] = -5
+        with pytest.raises(InvariantViolation, match="child"):
+            metrics.check_invariants()
+
+
+class TestStreamInvariants:
+    SCHEMA = Schema("q", ("a0", "a1"))
+
+    def test_healthy_stream_passes(self):
+        stream = ResultStream(Relation(self.SCHEMA, [(1, 2), (3, 4)]), "q")
+        stream.fetch_all()
+        stream.check_invariants()
+
+    def test_duplicate_production(self):
+        relation = Relation(self.SCHEMA, [(1, 2), (3, 4)])
+        relation._rows.append((1, 2))  # bypass the dedup path
+        with pytest.raises(InvariantViolation, match="duplicate"):
+            ResultStream(relation, "q").check_invariants()
+
+    def test_arity_violation(self):
+        relation = Relation(self.SCHEMA, [(1, 2)])
+        relation._rows.append((1, 2, 3))
+        relation._row_set.add((1, 2, 3))
+        with pytest.raises(InvariantViolation, match="arity"):
+            ResultStream(relation, "q").check_invariants()
+
+    def test_drained_generator_replays_exactly(self):
+        generated = GeneratorRelation(
+            self.SCHEMA, lambda: iter([(1, 2), (3, 4), (1, 2)])
+        )
+        stream = ResultStream(generated, "q")
+        rows = stream.fetch_all()
+        assert len(rows) == 2  # deduplicated
+        stream.check_invariants()  # exhausted: replay must produce nothing new
+
+
+class TestAggregators:
+    def test_audit_skips_objects_without_hooks(self):
+        audit(object(), None, 42)  # nothing to check, nothing raised
+
+    def test_audit_raises_on_first_violation(self):
+        metrics = Metrics()
+        metrics.counters["x"] = -1
+        with pytest.raises(InvariantViolation):
+            audit(Metrics(), metrics)
+
+    def test_collect_violations_gathers_messages(self):
+        bad_metrics = Metrics()
+        bad_metrics.counters["x"] = -1
+        cache, element = stored_cache()
+        element.pin_count = -3
+        messages = collect_violations(Metrics(), bad_metrics, cache)
+        assert len(messages) == 2
+        assert any("negative" in m for m in messages)
+
+    def test_audit_cms_covers_a_real_system(self):
+        from repro.qa import CaseGenerator
+        from repro.qa.differential import build_variant
+
+        case = CaseGenerator(0).generate(0)
+        cms = build_variant(case, "full")
+        cms.begin_session(case.build_advice())
+        for query in case.parsed_queries():
+            cms.query(query).fetch_all()
+        audit_cms(cms)  # healthy run: every hook passes

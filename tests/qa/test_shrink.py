@@ -1,0 +1,139 @@
+"""Shrinking and repro files: ddmin, structure reduction, replay."""
+
+import pytest
+
+from repro.qa import (
+    CaseGenerator,
+    FuzzCase,
+    load_repro,
+    replay,
+    run_case,
+    shrink,
+    write_repro,
+)
+from repro.qa.generator import CaseConfig
+from repro.qa.shrink import REPRO_FORMAT
+
+
+def synthetic_case(queries):
+    """A case whose failure we can define synthetically (never executed)."""
+    return FuzzCase(
+        seed=0,
+        index=0,
+        tables=[{"name": "b0", "columns": ["int"], "rows": [[1], [2]]}],
+        queries=list(queries),
+    )
+
+
+class TestDdmin:
+    def test_single_culprit_query_is_isolated(self):
+        queries = [f"q(X) :- b0(X), X > {i}" for i in range(10)]
+        culprit = queries[6]
+
+        def failing(case):
+            return "boom" if culprit in case.queries else None
+
+        result = shrink(synthetic_case(queries), failing)
+        assert result.case.queries == [culprit]
+        assert result.original_queries == 10
+        assert result.reason == "boom"
+
+    def test_pairwise_interaction_is_preserved(self):
+        queries = [f"q(X) :- b0(X), X > {i}" for i in range(8)]
+        a, b = queries[1], queries[6]
+
+        def failing(case):
+            return "pair" if a in case.queries and b in case.queries else None
+
+        result = shrink(synthetic_case(queries), failing)
+        assert sorted(result.case.queries) == sorted([a, b])
+
+    def test_shrinking_is_deterministic(self):
+        queries = [f"q(X) :- b0(X), X > {i}" for i in range(9)]
+
+        def failing(case):
+            return "odd" if len(case.queries) % 2 == 1 else None
+
+        first = shrink(synthetic_case(queries), failing)
+        second = shrink(synthetic_case(queries), failing)
+        assert first.case.to_dict() == second.case.to_dict()
+        assert first.attempts == second.attempts
+
+    def test_shrink_requires_a_failing_case(self):
+        with pytest.raises(AssertionError):
+            shrink(synthetic_case(["q(X) :- b0(X)"]), lambda case: None)
+
+
+class TestStructureReduction:
+    def test_advice_fault_and_unused_tables_are_stripped(self):
+        case = FuzzCase(
+            seed=0,
+            index=0,
+            tables=[
+                {"name": "b0", "columns": ["int"], "rows": [[1]]},
+                {"name": "b1", "columns": ["int"], "rows": [[2]]},
+            ],
+            queries=["q(X) :- b0(X)", "p(X) :- b1(X)"],
+            advice_views=["v(X) :- b0(X)"],
+            advice_annotations=["?"],
+            path_views=["v"],
+            fault={"seed": 1, "transient_rate": 0.5},
+            fault_onset=1,
+        )
+
+        def failing(candidate):
+            return "q" if "q(X) :- b0(X)" in candidate.queries else None
+
+        result = shrink(case, failing)
+        assert result.case.queries == ["q(X) :- b0(X)"]
+        assert result.case.advice_views == []
+        assert result.case.path_views == []
+        assert result.case.fault is None
+        # b1 is no longer referenced by any query or view: collected.
+        assert [t["name"] for t in result.case.tables] == ["b0"]
+
+    def test_structure_needed_for_the_failure_is_kept(self):
+        case = FuzzCase(
+            seed=0,
+            index=0,
+            tables=[{"name": "b0", "columns": ["int"], "rows": [[1]]}],
+            queries=["q(X) :- b0(X)"],
+            fault={"seed": 1, "transient_rate": 0.5},
+        )
+
+        def failing(candidate):
+            return "needs-fault" if candidate.fault is not None else None
+
+        result = shrink(case, failing)
+        assert result.case.fault is not None
+
+
+class TestReproFiles:
+    def test_round_trip_preserves_the_case(self, tmp_path):
+        case = CaseGenerator(0).generate(3)
+        path = tmp_path / "repro.json"
+        write_repro(path, case, reason="demo")
+        loaded = load_repro(path)
+        assert loaded.to_dict() == case.to_dict()
+        assert loaded.fingerprint() == case.fingerprint()
+
+    def test_replay_runs_the_differential_oracle(self, tmp_path):
+        case = CaseGenerator(0).generate(0)
+        path = tmp_path / "repro.json"
+        write_repro(path, case)
+        report = replay(path)
+        assert not report.failed
+        assert report.case_fingerprint == run_case(case).case_fingerprint
+
+    def test_format_marker_is_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something/else", "case": {}}')
+        with pytest.raises(ValueError, match=REPRO_FORMAT):
+            load_repro(path)
+
+    def test_repro_files_are_byte_identical_for_the_same_case(self, tmp_path):
+        case = CaseGenerator(5, CaseConfig.faulty()).generate(7)
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_repro(first, case, reason="x")
+        write_repro(second, case, reason="x")
+        assert first.read_bytes() == second.read_bytes()
