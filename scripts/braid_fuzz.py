@@ -35,6 +35,7 @@ from repro.qa import (
     replay,
     run_corpus,
     shrink,
+    variants_for,
     write_repro,
 )
 
@@ -58,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROFILES),
         default="healthy",
         help="case profile: healthy link or PR-1 fault schedules",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("tuple", "columnar", "both"),
+        default="both",
+        help="local-engine axis: tuple-at-a-time only, columnar vs full "
+        "head-to-head, or both engines beside every baseline (default)",
     )
     parser.add_argument(
         "--check-determinism",
@@ -111,14 +119,15 @@ def main(argv: list[str] | None = None) -> int:
         return replay_one(args.replay)
 
     config = PROFILES[args.profile]()
+    variants = variants_for(args.engine)
     generator = CaseGenerator(args.seed, config)
     started = time.time()
     cases = generator.corpus(args.cases, start=args.start)
-    report = run_corpus(cases, seed=args.seed, keep_reports=False)
+    report = run_corpus(cases, seed=args.seed, variants=variants, keep_reports=False)
     elapsed = time.time() - started
 
     print(
-        f"fuzz[{args.profile}] seed={args.seed} cases={report.cases} "
+        f"fuzz[{args.profile}/{args.engine}] seed={args.seed} cases={report.cases} "
         f"divergences={report.divergences} violations={report.violations} "
         f"degraded={report.degraded_answers} ({elapsed:.1f}s)"
     )
@@ -130,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         second = run_corpus(
             generator.corpus(args.cases, start=args.start),
             seed=args.seed,
+            variants=variants,
             keep_reports=False,
         )
         if second.fingerprint() != report.fingerprint():
@@ -142,11 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         status = 1
         os.makedirs(args.save_failures, exist_ok=True)
         failing = {case.index: case for case in cases}
+        is_failing = lambda c: case_failure(c, variants)
         for index in report.failed_cases:
             case = failing[index]
-            reason = case_failure(case) or "failed in corpus run"
+            reason = is_failing(case) or "failed in corpus run"
             if not args.no_shrink:
-                result = shrink(case, case_failure)
+                result = shrink(case, is_failing)
                 case, reason = result.case, result.reason
                 print(
                     f"  case {index}: {reason} "

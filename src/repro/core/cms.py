@@ -48,6 +48,7 @@ from repro.common.metrics import (
 )
 from repro.logic.builtins import BuiltinRegistry
 from repro.logic.terms import Atom, Const, Substitution, Var
+from repro.relational.columnar import ColumnarBatch
 from repro.relational.generator import GeneratorRelation
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -109,6 +110,7 @@ class CMSFeatures(PlannerFeatures):
             indexing=False,
             parallel=False,
             semijoin=False,
+            columnar=False,
             advice_replacement=False,
             batching=False,
             retry_policy=RetryPolicy.none(),
@@ -188,6 +190,7 @@ class CacheManagementSystem:
             pin_streams=pin_streams,
             tracer=self.tracer,
             batch_remote=self.features.batching,
+            engine="columnar" if self.features.columnar else "tuple",
         )
 
     def _should_auto_index(self, view_name: str) -> bool:
@@ -395,7 +398,7 @@ class CacheManagementSystem:
         if self.last_plan is not None:
             self.last_plan.check_invariants()
 
-    def _answer_psj(self, psj: PSJQuery) -> Relation | GeneratorRelation:
+    def _answer_psj(self, psj: PSJQuery) -> Relation | GeneratorRelation | ColumnarBatch:
         plan = self.planner.plan(psj)
         self.last_plan = plan
 
@@ -461,7 +464,10 @@ class CacheManagementSystem:
 
         if plan.cache_result and plan.strategy != "exact":
             try:
-                element = self.cache.store(psj, result)
+                # The cache stores extensions/generators; a columnar batch
+                # is materialized for storage while the batch itself still
+                # flows to the result stream.
+                element = self.cache.store(psj, self._cacheable(result))
             except CacheCapacityError:
                 return result
             if plan.expendable and element.use_count == 0:
@@ -496,9 +502,18 @@ class CacheManagementSystem:
             return partial
         raise error
 
-    def _materialize(self, result: Relation | GeneratorRelation) -> Relation:
+    def _materialize(self, result) -> Relation:
         if isinstance(result, GeneratorRelation):
             return result.to_extension()
+        if isinstance(result, ColumnarBatch):
+            return result.to_relation()
+        return result
+
+    def _cacheable(self, result):
+        """What goes into the cache: batches materialize, generators stay
+        lazy (lazy caching is the point of storing the generator)."""
+        if isinstance(result, ColumnarBatch):
+            return result.to_relation()
         return result
 
     def _apply_evaluable(

@@ -1,0 +1,152 @@
+"""Local execution engines behind one interface.
+
+The Execution Monitor's combine stage and full-subsumption derivations
+are expressed against this small facade so the CMS can run either engine:
+
+* :class:`TupleEngine` — the original tuple-at-a-time operators from
+  :mod:`repro.relational.operators` (the semantic reference);
+* :class:`ColumnarEngine` — the vectorized kernels from
+  :mod:`repro.relational.columnar` with compiled predicates.
+
+Both engines implement the same relational contract — set semantics,
+Python-equality join keys, first-occurrence-ordered duplicate
+elimination — and the differential fuzzer's engine axis
+(``scripts/braid_fuzz.py --engine both``) holds them to it: every fuzz
+case must produce tuple-set-identical answers on both engines and the
+direct-evaluation oracle.
+
+An engine works on *handles* (its native relation representation).
+``ingest`` converts a materialized :class:`Relation` into a handle,
+``materialize`` converts a handle back; the tuple engine's handles are
+the relations themselves, so both are identities there.
+"""
+
+from __future__ import annotations
+
+from repro.caql.eval import result_schema
+from repro.caql.psj import ConstProj, PSJQuery
+from repro.relational import operators
+from repro.relational.columnar import (
+    ColumnarBatch,
+    hash_join_batch,
+    project_entries_batch,
+    select_batch,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.core import subsumption
+
+__all__ = ["ColumnarEngine", "TupleEngine", "make_engine"]
+
+
+class TupleEngine:
+    """The tuple-at-a-time reference engine (handles are relations)."""
+
+    name = "tuple"
+
+    def ingest(self, relation: Relation) -> Relation:
+        """A relation is already this engine's native handle."""
+        return relation
+
+    def materialize(self, handle: Relation) -> Relation:
+        """Identity: tuple-engine handles are relations."""
+        return handle
+
+    def select(self, handle: Relation, conditions) -> Relation:
+        return operators.select(handle, list(conditions))
+
+    def join(
+        self, left: Relation, right: Relation, pairs, name: str, conditions=()
+    ) -> Relation:
+        return operators.join(
+            left, right, list(pairs), name=name, conditions=list(conditions)
+        )
+
+    def project_entries(self, handle: Relation, entries, schema: Schema) -> Relation:
+        rows = (
+            tuple(value if kind == "const" else row[value] for kind, value in entries)
+            for row in handle
+        )
+        return Relation(schema, rows)
+
+    def derive_full(
+        self, match, query: PSJQuery, prefiltered: Relation | None = None
+    ) -> Relation:
+        return subsumption.derive_full(match, query, prefiltered=prefiltered)
+
+
+class ColumnarEngine:
+    """The batch engine: columnar handles, compiled predicates."""
+
+    name = "columnar"
+
+    def ingest(self, relation: Relation) -> ColumnarBatch:
+        """Pivot a materialized relation into a columnar batch."""
+        if isinstance(relation, ColumnarBatch):
+            return relation
+        return ColumnarBatch.from_relation(relation)
+
+    def materialize(self, handle) -> Relation:
+        """A batch handle back as a plain extension."""
+        if isinstance(handle, ColumnarBatch):
+            return handle.to_relation()
+        return handle
+
+    def select(self, handle: ColumnarBatch, conditions) -> ColumnarBatch:
+        return select_batch(handle, list(conditions))
+
+    def join(
+        self,
+        left: ColumnarBatch,
+        right: ColumnarBatch,
+        pairs,
+        name: str,
+        conditions=(),
+    ) -> ColumnarBatch:
+        return hash_join_batch(
+            left, right, list(pairs), name=name, conditions=list(conditions)
+        )
+
+    def project_entries(
+        self, handle: ColumnarBatch, entries, schema: Schema
+    ) -> ColumnarBatch:
+        return project_entries_batch(handle, list(entries), schema)
+
+    def derive_full(
+        self, match, query: PSJQuery, prefiltered: Relation | None = None
+    ) -> ColumnarBatch:
+        """Batch analogue of :func:`repro.core.subsumption.derive_full`.
+
+        Same contract: ``prefiltered`` rows are already restricted by the
+        residual conditions (the index fast path skips re-selection);
+        otherwise residuals run here, on the compiled kernel.
+        """
+        if not match.is_full or match.projection is None:
+            raise ValueError("derive_full requires a full match")
+        if prefiltered is not None:
+            batch = self.ingest(prefiltered)
+        else:
+            batch = self.ingest(match.element.extension())
+            if match.residual_conditions:
+                batch = select_batch(batch, list(match.residual_conditions))
+        schema = result_schema(query.name, query.arity)
+        if not match.projection:
+            return ColumnarBatch.from_rows(
+                schema, [(True,)] if len(batch) else [], distinct=True
+            )
+        entries = [
+            ("const", entry.value)
+            if isinstance(entry, ConstProj)
+            else ("col", batch.schema.position(entry))
+            for entry in match.projection
+        ]
+        return project_entries_batch(batch, entries, schema)
+
+
+def make_engine(name: str):
+    """Engine by name (``tuple`` or ``columnar``)."""
+    if name == "tuple":
+        return TupleEngine()
+    if name == "columnar":
+        return ColumnarEngine()
+    raise ValueError(f"unknown engine {name!r} (expected 'tuple' or 'columnar')")

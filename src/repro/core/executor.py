@@ -27,6 +27,7 @@ from repro.common.metrics import (
     LAZY_TUPLES_PRODUCED,
     Metrics,
 )
+from repro.relational.columnar import ColumnarBatch
 from repro.relational.expressions import Comparison
 from repro.relational.generator import GeneratorRelation
 from repro.relational.operators import join, select
@@ -35,6 +36,7 @@ from repro.relational.schema import Schema
 from repro.caql.eval import result_schema
 from repro.caql.psj import ConstProj, PSJQuery
 from repro.core.cache import Cache
+from repro.core.engine import make_engine
 from repro.core.plan import CachePart, QueryPlan, RemotePart
 from repro.core.rdi import RemoteInterface
 from repro.obs.tracer import Tracer
@@ -45,13 +47,17 @@ from repro.core.subsumption import (
     derive_part,
 )
 
+#: What the executor may hand back to the CMS: the tuple engine produces
+#: extensions or generators, the columnar engine produces batches.
+LocalResult = Relation | GeneratorRelation | ColumnarBatch
+
 
 class ResultStream:
     """The IE-facing result: tuples on demand, from cache or extension."""
 
     def __init__(
         self,
-        relation: Relation | GeneratorRelation,
+        relation: LocalResult,
         name: str,
         degraded: bool = False,
     ):
@@ -94,6 +100,8 @@ class ResultStream:
         """The full result as an extension (drains a generator)."""
         if isinstance(self._relation, GeneratorRelation):
             return self._relation.to_extension()
+        if isinstance(self._relation, ColumnarBatch):
+            return self._relation.to_relation()
         return self._relation
 
     def check_invariants(self) -> None:
@@ -107,6 +115,11 @@ class ResultStream:
         """
         from repro.common.errors import InvariantViolation
 
+        if isinstance(self._relation, ColumnarBatch):
+            # Batch consistency (column count, raggedness, distinctness) is
+            # the batch's own audit; rows are tuples by construction.
+            self._relation.check_invariants(self.name)
+            return
         arity = self._relation.schema.arity
         if isinstance(self._relation, GeneratorRelation):
             memo = self._relation._memo
@@ -158,6 +171,7 @@ class ExecutionMonitor:
         pin_streams: bool = False,
         tracer=None,
         batch_remote: bool = True,
+        engine: str = "tuple",
     ):
         self.cache = cache
         self.rdi = rdi
@@ -165,6 +179,13 @@ class ExecutionMonitor:
         self.profile = profile
         self.metrics = metrics
         self.parallel = parallel
+        #: The local execution engine (tuple-at-a-time or columnar batch).
+        self.engine = make_engine(engine)
+        #: Per-tuple local work is cheaper on the batch engine; the same
+        #: factor the planner's cost model applies (CostProfile).
+        self._local_cost_factor = (
+            profile.columnar_tuple_factor if self.engine.name == "columnar" else 1.0
+        )
         #: Ship independently-needed remote parts as one batched round trip.
         self.batch_remote = batch_remote
         self.tracer = tracer if tracer is not None else Tracer.disabled()
@@ -182,11 +203,14 @@ class ExecutionMonitor:
     # -- cost helpers ----------------------------------------------------------------
     def _charge_local(self, tuples: int) -> None:
         self.metrics.incr(CACHE_TUPLES_PROCESSED, tuples)
-        self.clock.charge("local", self.profile.cache_per_tuple * tuples)
+        self.clock.charge(
+            "local",
+            self.profile.cache_per_tuple * self._local_cost_factor * tuples,
+        )
 
     # -- execution ---------------------------------------------------------------------
-    def execute(self, plan: QueryPlan) -> Relation | GeneratorRelation:
-        """Run a query plan; returns the result relation or generator.
+    def execute(self, plan: QueryPlan) -> LocalResult:
+        """Run a query plan; returns a relation, generator, or batch.
 
         Every cache element the plan reads is pinned for the duration of
         the call (and, for lazy results with :attr:`pin_streams`, for the
@@ -217,7 +241,7 @@ class ExecutionMonitor:
             for element in elements:
                 self.cache.unpin(element)
 
-    def _dispatch(self, plan: QueryPlan) -> Relation | GeneratorRelation:
+    def _dispatch(self, plan: QueryPlan) -> LocalResult:
         strategy = plan.strategy
         if strategy == "unsatisfiable":
             return Relation(result_schema(plan.query.name, plan.query.arity))
@@ -264,7 +288,7 @@ class ExecutionMonitor:
         self._pin_for_stream(element, element.relation)
         return element.relation
 
-    def _execute_cache_full(self, plan: QueryPlan) -> Relation | GeneratorRelation:
+    def _execute_cache_full(self, plan: QueryPlan) -> LocalResult:
         match = plan.full_match
         if match is None:
             raise PlanningError("cache-full plan without a match")
@@ -279,7 +303,7 @@ class ExecutionMonitor:
         self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
         return result
 
-    def _derive_full_indexed(self, match, query: PSJQuery) -> tuple[Relation, int]:
+    def _derive_full_indexed(self, match, query: PSJQuery) -> tuple[LocalResult, int]:
         """derive_full, using a hash index for equality residuals when one
         exists on the element (Section 5.4: hash indices speed up joins and
         some selections).  Returns the result and the number of element
@@ -322,14 +346,17 @@ class ExecutionMonitor:
                 if residual:
                     filtered = select(filtered, residual)
                 self.clock.charge("local", self.profile.index_probe)
-                return derive_full(match, query, prefiltered=filtered), len(rows)
-        return derive_full(match, query), match.element.rows_materialized()
+                return (
+                    self.engine.derive_full(match, query, prefiltered=filtered),
+                    len(rows),
+                )
+        return self.engine.derive_full(match, query), match.element.rows_materialized()
 
     def _on_lazy_tuple(self, _row: tuple) -> None:
         self.metrics.incr(LAZY_TUPLES_PRODUCED)
         self.clock.charge("local", self.profile.cache_per_tuple)
 
-    def _execute_parts(self, plan: QueryPlan) -> Relation:
+    def _execute_parts(self, plan: QueryPlan) -> LocalResult:
         produced: list[Relation] = []
         remote_parts = [p for p in plan.parts if isinstance(p, RemotePart)]
         cache_parts = [p for p in plan.parts if isinstance(p, CachePart)]
@@ -541,11 +568,12 @@ class ExecutionMonitor:
         schema = Schema(label, columns)
         return Relation(schema, iter(relation))
 
-    def _combine(self, parts: list[Relation], plan: QueryPlan) -> Relation:
+    def _combine(self, parts: list[Relation], plan: QueryPlan) -> LocalResult:
         if not parts:
             raise PlanningError("no parts produced anything to combine")
+        engine = self.engine
         pending = list(plan.cross_conditions)
-        combined = parts[0]
+        combined = engine.ingest(parts[0])
         seen_cols = set(combined.schema.attributes)
         input_rows = len(combined)
         for relation in parts[1:]:
@@ -567,12 +595,15 @@ class ExecutionMonitor:
                         residual.append(condition)
                 else:
                     remaining.append(condition)
-            combined = join(combined, relation, pairs, name="combine", conditions=residual)
+            combined = engine.join(
+                combined, engine.ingest(relation), pairs,
+                name="combine", conditions=residual,
+            )
             seen_cols |= right_cols
             input_rows += len(relation) + len(combined)
             pending = remaining
         if pending:
-            combined = select(combined, pending)
+            combined = engine.select(combined, pending)
 
         schema = result_schema(plan.query.name, plan.query.arity)
         entries = []
@@ -582,11 +613,7 @@ class ExecutionMonitor:
             else:
                 entries.append(("col", combined.schema.position(entry)))
         if entries:
-            rows = (
-                tuple(v if kind == "const" else row[v] for kind, v in entries)
-                for row in combined
-            )
-            result = Relation(schema, rows)
+            result = engine.project_entries(combined, entries, schema)
         else:
             result = Relation(schema, [(True,)] if len(combined) else [])
         self._charge_local(input_rows + len(result))

@@ -45,6 +45,11 @@ class PlannerFeatures:
     #: a cache part pins (an IN-list) instead of pulling the base relation
     #: unreduced.  Chosen per query by cost, never unconditionally.
     semijoin: bool = True
+    #: Run local operators on the columnar batch engine (compiled
+    #: predicates, vectorized kernels) instead of tuple-at-a-time.  Same
+    #: answers — the differential fuzzer's engine axis proves it — with
+    #: cheaper per-tuple local work in the cost model.
+    columnar: bool = False
 
 
 #: Resolves a base-relation name to its remote statistics.
@@ -582,7 +587,8 @@ class QueryPlanner:
 
     def _derive_cost(self, match: SubsumptionMatch) -> float:
         rows = match.element.rows_materialized()
-        return self.profile.cache_per_tuple * (rows + 1)
+        factor = self.profile.columnar_tuple_factor if self.features.columnar else 1.0
+        return self.profile.cache_per_tuple * factor * (rows + 1)
 
 
 def _split(col: str) -> tuple[str, int]:

@@ -16,6 +16,7 @@ from repro.qa.generator import (
     fingerprint,
 )
 from repro.qa.differential import (
+    COLUMNAR_VARIANT,
     VARIANTS,
     CaseReport,
     Divergence,
@@ -24,6 +25,7 @@ from repro.qa.differential import (
     case_failure,
     run_case,
     run_corpus,
+    variants_for,
 )
 from repro.qa.invariants import (
     InvariantViolation,
@@ -47,7 +49,9 @@ __all__ = [
     "canonical_json",
     "encode_rows",
     "fingerprint",
+    "COLUMNAR_VARIANT",
     "VARIANTS",
+    "variants_for",
     "CaseReport",
     "Divergence",
     "FuzzReport",

@@ -1,0 +1,587 @@
+"""Columnar batch representation and vectorized kernels.
+
+The tuple-at-a-time engine (:mod:`repro.relational.operators`) pays
+per-row Python overhead for every predicate check and every
+:meth:`Relation.insert`.  This module is the raw-speed rebuild of ROADMAP
+item 3: relations held as **per-attribute columns**, operators as
+**batch kernels** that sweep whole columns in tight generated loops, and
+CAQL conjuncts **compiled once per plan** into closures instead of being
+re-interpreted per row.
+
+Design rules, all load-bearing for correctness:
+
+* **Set semantics are preserved structurally.**  A batch built from a
+  :class:`Relation` holds distinct rows; selection and equi-join preserve
+  row distinctness (a selected row keeps its identity; a join output row
+  is one (left index, right index) pair of distinct inputs), so those
+  kernels never re-deduplicate.  Projection can collapse rows and always
+  deduplicates.  :meth:`ColumnarBatch.check_invariants` audits the
+  distinctness claim — and the differential fuzzer runs it after every
+  query, so a kernel that silently produced duplicates cannot survive.
+* **Join keys use Python equality.**  The hash table is keyed by raw
+  column values, so equal-but-distinct spellings (``1`` vs ``1.0`` vs
+  ``True``) land in the same bucket — exactly the equality classes
+  :func:`repro.core.rdi.canonical_bindings` dedups by, and exactly what
+  the tuple engine's dict-based join does.  Keying by ``(type, repr)``
+  would *split* those classes and lose join rows.
+* **Compiled predicates are observationally identical to interpreted
+  ones.**  The generated code wraps the conjunction in ``try/except
+  TypeError`` returning False, matching
+  :meth:`repro.relational.expressions.Comparison.compile`; any condition
+  the compiler does not support falls back to the interpreter.  The
+  hypothesis suite in ``tests/relational/test_columnar_property.py``
+  checks equivalence over randomized conjuncts and value soups.
+
+Typed columns: :meth:`ColumnarBatch.compact` converts homogeneous
+``int``/``float`` columns to :mod:`array` typed arrays (8 bytes/value,
+exposed as zero-copy :func:`memoryview` via
+:meth:`ColumnarBatch.memoryview_of`).  ``bool`` is deliberately excluded
+— ``array('q')`` would coerce ``True`` to ``1`` and change the value's
+type, which the qa row encoding distinguishes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Iterator, Sequence
+
+from repro.common.errors import InvariantViolation, SchemaError
+from repro.relational.expressions import Col, Comparison, Lit, compile_conjunction
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = [
+    "ColumnarBatch",
+    "CompiledConjunction",
+    "compile_batch_predicate",
+    "compile_stats",
+    "hash_join_batch",
+    "predicate_cache_size",
+    "project_batch",
+    "project_entries_batch",
+    "reset_predicate_cache",
+    "select_batch",
+]
+
+
+# ---------------------------------------------------------------------------
+# the batch representation
+# ---------------------------------------------------------------------------
+
+
+class ColumnarBatch:
+    """A relation as parallel per-attribute columns (set semantics).
+
+    Columns are plain Python lists (or typed :mod:`array` arrays after
+    :meth:`compact`), all the same length; row ``i`` is
+    ``tuple(col[i] for col in columns)``.  Rows are distinct — the
+    constructors either receive provably distinct rows or deduplicate.
+    """
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: list[Sequence]):
+        if len(columns) != schema.arity:
+            raise SchemaError(
+                f"batch for {schema} needs {schema.arity} columns, got {len(columns)}"
+            )
+        self.schema = schema
+        self.columns = columns
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnarBatch":
+        """Pivot an extension into columns (rows are already distinct)."""
+        columns = list(map(list, zip(*iter(relation))))
+        if not columns:  # empty relation: one empty column per attribute
+            columns = [[] for _ in relation.schema.attributes]
+        return cls(relation.schema, columns)
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows, distinct: bool = False
+    ) -> "ColumnarBatch":
+        """Build from row tuples; deduplicates unless ``distinct`` vouches."""
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            if len(row) != schema.arity:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema {schema} "
+                    f"(arity {schema.arity})"
+                )
+        if not distinct:
+            rows = list(dict.fromkeys(rows))
+        columns = list(map(list, zip(*rows)))
+        if not columns:
+            columns = [[] for _ in schema.attributes]
+        return cls(schema, columns)
+
+    def to_relation(self) -> Relation:
+        """The batch as a tuple-engine extension (rows stay distinct)."""
+        return Relation.from_distinct_rows(self.schema, list(zip(*self.columns)))
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Row tuples, lazily — one tuple materialized per pull."""
+        return zip(*self.columns)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """All rows as tuples (a fresh list)."""
+        return list(zip(*self.columns))
+
+    def row(self, index: int) -> tuple:
+        """One row by position."""
+        return tuple(col[index] for col in self.columns)
+
+    def column(self, attribute: str) -> Sequence:
+        """One column by attribute name."""
+        return self.columns[self.schema.position(attribute)]
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality on rows, matching :class:`Relation` semantics."""
+        if isinstance(other, ColumnarBatch):
+            return (
+                self.schema.attributes == other.schema.attributes
+                and set(zip(*self.columns)) == set(zip(*other.columns))
+            )
+        if isinstance(other, Relation):
+            return self.to_relation() == other
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - batches are mutable
+        raise TypeError("ColumnarBatch is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"ColumnarBatch({self.schema}, {len(self)} rows)"
+
+    # -- typed columns ---------------------------------------------------------
+    def compact(self) -> "ColumnarBatch":
+        """Convert homogeneous numeric columns to typed arrays, in place.
+
+        A column of exact ``int`` values (``bool`` excluded — it is an
+        ``int`` subclass but a distinct value type) becomes ``array('q')``;
+        exact ``float`` becomes ``array('d')``.  Values outside 64-bit
+        range keep the column as a plain list.  Returns ``self``.
+        """
+        for position, column in enumerate(self.columns):
+            if isinstance(column, array) or not column:
+                continue
+            kinds = {type(value) for value in column}
+            try:
+                if kinds == {int}:
+                    self.columns[position] = array("q", column)
+                elif kinds == {float}:
+                    self.columns[position] = array("d", column)
+            except OverflowError:
+                continue  # e.g. ints beyond 64 bits: stay a plain list
+        return self
+
+    def memoryview_of(self, attribute: str) -> memoryview | None:
+        """Zero-copy view of a typed column; None for object columns."""
+        column = self.column(attribute)
+        if isinstance(column, array):
+            return memoryview(column)
+        return None
+
+    def estimated_bytes(self) -> int:
+        """Size estimate matching :meth:`Relation.estimated_bytes`."""
+        total = 0
+        for column in self.columns:
+            if isinstance(column, array):
+                total += 8 * len(column)
+                continue
+            total += 8 * len(column)
+            for value in column:
+                if isinstance(value, str) and len(value) > 8:
+                    total += 2 * (len(value) - 8)
+        return total
+
+    # -- auditing --------------------------------------------------------------
+    def check_invariants(self, name: str | None = None) -> None:
+        """Audit batch consistency (cheap, read-only).
+
+        Raises :class:`~repro.common.errors.InvariantViolation` on ragged
+        columns (unequal lengths), a column-count/arity mismatch, or
+        duplicate rows (the structural distinctness claim broken).
+        """
+        label = name or self.schema.name
+        if len(self.columns) != self.schema.arity:
+            raise InvariantViolation(
+                f"batch {label}: {len(self.columns)} columns but schema "
+                f"{self.schema} has arity {self.schema.arity}"
+            )
+        lengths = {len(column) for column in self.columns}
+        if len(lengths) > 1:
+            raise InvariantViolation(
+                f"batch {label}: ragged columns with lengths {sorted(lengths)}"
+            )
+        rows = list(zip(*self.columns))
+        if len(set(rows)) != len(rows):
+            raise InvariantViolation(
+                f"batch {label}: {len(rows)} rows but only {len(set(rows))} "
+                "distinct — duplicate production"
+            )
+
+
+# ---------------------------------------------------------------------------
+# predicate compilation
+# ---------------------------------------------------------------------------
+
+#: Literal types the code generator accepts; anything else falls back to
+#: the interpreter (arbitrary objects have no stable cache identity).
+_SAFE_LITERALS = (int, float, str, bool, type(None))
+
+#: Cache of compiled conjunctions, keyed per (schema attributes, canonical
+#: condition keys) — "cached per plan": re-planning the same conjunct over
+#: the same schema reuses the closure instead of re-generating code.
+_PREDICATE_CACHE: dict[tuple, "CompiledConjunction"] = {}
+_PREDICATE_CACHE_LIMIT = 2048
+
+#: Observability for tests and benchmarks.
+compile_stats = {"hits": 0, "misses": 0, "fallbacks": 0}
+
+
+def reset_predicate_cache() -> None:
+    """Drop all compiled predicates and zero the counters (test helper)."""
+    _PREDICATE_CACHE.clear()
+    compile_stats.update(hits=0, misses=0, fallbacks=0)
+
+
+def predicate_cache_size() -> int:
+    """How many compiled conjunctions are currently cached."""
+    return len(_PREDICATE_CACHE)
+
+
+class CompiledConjunction:
+    """A conjunction compiled to closures (or interpreter fallbacks).
+
+    ``row`` is a row predicate ``tuple -> bool``; ``filter`` maps a column
+    list to the list of selected row indices.  ``fallback`` is True when
+    code generation was skipped and both callables wrap the interpreter.
+    """
+
+    __slots__ = ("row", "filter", "fallback", "source")
+
+    def __init__(
+        self,
+        row: Callable[[tuple], bool],
+        filter: Callable[[list], list[int]],
+        fallback: bool,
+        source: str,
+    ):
+        self.row = row
+        self.filter = filter
+        self.fallback = fallback
+        self.source = source
+
+
+def _operand_key(operand) -> tuple | None:
+    if isinstance(operand, Col):
+        return ("col", operand.name)
+    if isinstance(operand, Lit):
+        value = operand.value
+        if type(value) in _SAFE_LITERALS:
+            return ("lit", type(value).__name__, repr(value))
+    return None
+
+
+def _conjunction_key(
+    conditions: Sequence[Comparison], schema: Schema
+) -> tuple | None:
+    """A cache key for the conjunction, or None when uncompilable."""
+    keys = []
+    for condition in conditions:
+        if not isinstance(condition, Comparison):
+            return None
+        left = _operand_key(condition.left)
+        right = _operand_key(condition.right)
+        if left is None or right is None:
+            return None
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, Col) and not schema.has(operand.name):
+                return None  # let the interpreter raise its SchemaError
+        keys.append((left, condition.op, right))
+    return (schema.attributes, tuple(keys))
+
+
+#: CAQL comparison operator -> Python source operator.
+_PY_OPS = {"=": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+
+def _emit_expression(
+    conditions: Sequence[Comparison],
+    schema: Schema,
+    ref: Callable[[int], str],
+    constants: list,
+) -> str:
+    """The conjunction as a Python expression over ``ref(position)``."""
+    terms = []
+    for condition in conditions:
+        sides = []
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, Col):
+                sides.append(ref(schema.position(operand.name)))
+            else:
+                constants.append(operand.value)
+                sides.append(f"_k{len(constants) - 1}")
+        terms.append(f"({sides[0]} {_PY_OPS[condition.op]} {sides[1]})")
+    return " and ".join(terms)
+
+
+def _interpreted(
+    conditions: Sequence[Comparison], schema: Schema
+) -> CompiledConjunction:
+    """The fallback: both callables wrap the tuple-engine interpreter."""
+    predicate = compile_conjunction(list(conditions), schema)
+
+    def filter_indices(columns: list) -> list[int]:
+        return [i for i, row in enumerate(zip(*columns)) if predicate(row)]
+
+    return CompiledConjunction(predicate, filter_indices, True, "<interpreted>")
+
+
+def compile_batch_predicate(
+    conditions: Sequence[Comparison], schema: Schema
+) -> CompiledConjunction:
+    """Compile a conjunction against a schema; cached, with fallback.
+
+    The generated row predicate evaluates the whole conjunction inside one
+    ``try/except TypeError -> False``, which is observationally identical
+    to the interpreter's per-condition handling: a type clash anywhere
+    excludes the row either way.  The filter kernel sweeps only the
+    referenced columns.
+    """
+    key = _conjunction_key(conditions, schema)
+    if key is None:
+        compile_stats["fallbacks"] += 1
+        return _interpreted(conditions, schema)
+    cached = _PREDICATE_CACHE.get(key)
+    if cached is not None:
+        compile_stats["hits"] += 1
+        return cached
+    compile_stats["misses"] += 1
+
+    constants: list = []
+    row_expr = _emit_expression(
+        conditions, schema, lambda position: f"row[{position}]", constants
+    )
+    positions = sorted(
+        {
+            schema.position(operand.name)
+            for condition in conditions
+            for operand in (condition.left, condition.right)
+            if isinstance(operand, Col)
+        }
+    )
+    kernel_constants: list = []
+    kernel_expr = _emit_expression(
+        conditions, schema, lambda position: f"_v{position}", kernel_constants
+    )
+    binding = ", ".join(
+        f"_k{i}=_CONSTANTS[{i}]" for i in range(len(constants))
+    )
+    signature = f", {binding}" if binding else ""
+    predicate_source = (
+        f"def _row_predicate(row{signature}):\n"
+        f"    try:\n"
+        f"        return {row_expr or 'True'}\n"
+        f"    except TypeError:\n"
+        f"        return False\n"
+    )
+    if not positions:
+        # Row-independent conjunction (empty, or constant-only terms):
+        # evaluate once and keep everything or nothing.
+        filter_source = (
+            f"def _filter(_columns{signature}):\n"
+            f"    try:\n"
+            f"        _keep = {kernel_expr or 'True'}\n"
+            f"    except TypeError:\n"
+            f"        _keep = False\n"
+            f"    if not _keep:\n"
+            f"        return []\n"
+            f"    return list(range(len(_columns[0]) if _columns else 0))\n"
+        )
+    else:
+        if len(positions) == 1:
+            loop_vars = f"_v{positions[0]}"
+            iterable = f"_columns[{positions[0]}]"
+        else:
+            loop_vars = "(" + ", ".join(f"_v{p}" for p in positions) + ")"
+            iterable = "zip(" + ", ".join(f"_columns[{p}]" for p in positions) + ")"
+        filter_source = (
+            f"def _filter(_columns{signature}):\n"
+            f"    _out = []\n"
+            f"    _append = _out.append\n"
+            f"    for _i, {loop_vars} in enumerate({iterable}):\n"
+            f"        try:\n"
+            f"            if {kernel_expr or 'True'}:\n"
+            f"                _append(_i)\n"
+            f"        except TypeError:\n"
+            f"            pass\n"
+            f"    return _out\n"
+        )
+    source = predicate_source + "\n" + filter_source
+    namespace = {"_CONSTANTS": tuple(constants)}
+    exec(compile(source, "<columnar-predicate>", "exec"), namespace)
+    compiled = CompiledConjunction(
+        namespace["_row_predicate"], namespace["_filter"], False, source
+    )
+    if len(_PREDICATE_CACHE) >= _PREDICATE_CACHE_LIMIT:
+        _PREDICATE_CACHE.clear()  # bounded memory; recompilation is cheap
+    _PREDICATE_CACHE[key] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+def _gather(column: Sequence, indices: list[int]) -> list:
+    return list(map(column.__getitem__, indices))
+
+
+def select_batch(
+    batch: ColumnarBatch, conditions: Sequence[Comparison]
+) -> ColumnarBatch:
+    """Vectorized selection: sweep referenced columns, gather survivors.
+
+    Selection preserves row distinctness, so no deduplication happens.  A
+    full selection (every row kept) returns the input batch unchanged —
+    batches are treated as immutable.
+    """
+    if not conditions:
+        return batch
+    compiled = compile_batch_predicate(conditions, batch.schema)
+    indices = compiled.filter(batch.columns)
+    if len(indices) == len(batch):
+        return batch
+    return ColumnarBatch(
+        batch.schema, [_gather(column, indices) for column in batch.columns]
+    )
+
+
+def project_batch(
+    batch: ColumnarBatch, attributes: Sequence[str], name: str | None = None
+) -> ColumnarBatch:
+    """Projection with duplicate elimination (first occurrence wins).
+
+    Deduplication is by Python equality on the projected row, matching the
+    tuple engine's set semantics (``(1,)`` and ``(1.0,)`` collapse, with
+    the earliest spelling as the representative).
+    """
+    schema = batch.schema.project(tuple(attributes), name)
+    positions = batch.schema.positions(tuple(attributes))
+    if len(positions) == 1:
+        kept = list(dict.fromkeys(batch.columns[positions[0]]))
+        return ColumnarBatch(schema, [kept])
+    projected = zip(*(batch.columns[p] for p in positions))
+    kept = list(dict.fromkeys(projected))
+    columns = list(map(list, zip(*kept)))
+    if not columns:
+        columns = [[] for _ in schema.attributes]
+    return ColumnarBatch(schema, columns)
+
+
+def project_entries_batch(
+    batch: ColumnarBatch,
+    entries: Sequence[tuple[str, object]],
+    schema: Schema,
+) -> ColumnarBatch:
+    """Projection onto ``("const", value)`` / ``("col", position)`` entries.
+
+    This is the combine-stage final projection (pinned constants allowed),
+    with the same first-occurrence duplicate elimination as
+    :func:`project_batch`.
+    """
+    length = len(batch)
+    columns = [
+        [value] * length if kind == "const" else batch.columns[value]
+        for kind, value in entries
+    ]
+    kept = list(dict.fromkeys(zip(*columns)))
+    out = list(map(list, zip(*kept)))
+    if not out:
+        out = [[] for _ in schema.attributes]
+    return ColumnarBatch(schema, out)
+
+
+def hash_join_batch(
+    left: ColumnarBatch,
+    right: ColumnarBatch,
+    pairs: Sequence[tuple[str, str]],
+    name: str = "join",
+    conditions: Sequence[Comparison] = (),
+) -> ColumnarBatch:
+    """Equi-join as an index-pair hash join over key columns.
+
+    The build side is the smaller input; the hash table maps raw key
+    values (Python equality — the :func:`~repro.core.rdi.canonical_bindings`
+    equality classes, so ``1`` joins ``1.0``) to build-row indices.  The
+    output is materialized as gathered index lists, so distinct inputs
+    yield distinct outputs without re-deduplication.  Extra ``conditions``
+    are applied on the combined schema via the compiled-select kernel.
+    An empty ``pairs`` degenerates to a (filtered) cross product.
+    """
+    schema = left.schema.concat(right.schema, name)
+    if not pairs:
+        left_indices: list[int] = []
+        right_indices: list[int] = []
+        count_right = len(right)
+        for i in range(len(left)):
+            left_indices.extend([i] * count_right)
+            right_indices.extend(range(count_right))
+    else:
+        left_positions = left.schema.positions(tuple(p[0] for p in pairs))
+        right_positions = right.schema.positions(tuple(p[1] for p in pairs))
+        if len(left) <= len(right):
+            build, build_positions = left, left_positions
+            probe, probe_positions = right, right_positions
+            build_is_left = True
+        else:
+            build, build_positions = right, right_positions
+            probe, probe_positions = left, left_positions
+            build_is_left = False
+        if len(build_positions) == 1:
+            build_keys: Sequence = build.columns[build_positions[0]]
+            probe_keys: Sequence = probe.columns[probe_positions[0]]
+        else:
+            build_keys = list(zip(*(build.columns[p] for p in build_positions)))
+            probe_keys = list(zip(*(probe.columns[p] for p in probe_positions)))
+        count_build = len(build)
+        unique = dict(zip(build_keys, range(count_build)))
+        if len(unique) == count_build:
+            # Unique build keys (no two collapse into one equality class):
+            # key -> single index, so the probe is two C-speed sweeps.
+            hits = list(map(unique.get, probe_keys))
+            probe_indices = [j for j, hit in enumerate(hits) if hit is not None]
+            if len(probe_indices) == len(hits):
+                build_indices: list[int] = hits
+            else:
+                build_indices = _gather(hits, probe_indices)
+        else:
+            table: dict = {}
+            for i, key in enumerate(build_keys):
+                table.setdefault(key, []).append(i)
+            build_indices = []
+            probe_indices = []
+            get = table.get
+            for j, key in enumerate(probe_keys):
+                bucket = get(key)
+                if bucket is not None:
+                    build_indices.extend(bucket)
+                    probe_indices.extend([j] * len(bucket))
+        if build_is_left:
+            left_indices, right_indices = build_indices, probe_indices
+        else:
+            left_indices, right_indices = probe_indices, build_indices
+    columns = [_gather(column, left_indices) for column in left.columns]
+    columns += [_gather(column, right_indices) for column in right.columns]
+    combined = ColumnarBatch(schema, columns)
+    if conditions:
+        combined = select_batch(combined, conditions)
+    return combined

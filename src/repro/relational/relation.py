@@ -49,6 +49,22 @@ class Relation:
         """Add many rows; returns how many were new."""
         return sum(self.insert(row) for row in rows)
 
+    @classmethod
+    def from_distinct_rows(cls, schema: Schema, rows: list[tuple]) -> "Relation":
+        """Adopt rows known to be distinct tuples of the right arity.
+
+        This is the columnar engine's materialization exit: batch kernels
+        preserve distinctness structurally, so the per-row membership and
+        arity checks of :meth:`insert` would be pure overhead.  The claim
+        is audited, not assumed — ``check_invariants`` on the stream (and
+        the differential fuzzer's post-query audits) still verify it.
+        """
+        out = cls.__new__(cls)
+        out.schema = schema
+        out._rows = rows
+        out._row_set = set(rows)
+        return out
+
     # -- access --------------------------------------------------------------------
     def __iter__(self) -> Iterator[tuple]:
         return iter(self._rows)

@@ -10,7 +10,7 @@ from dataclasses import replace
 
 import pytest
 
-import repro.core.executor as executor_module
+import repro.core.subsumption as subsumption_module
 from repro.core.subsumption import derive_full as real_derive_full
 from repro.qa import (
     CaseGenerator,
@@ -66,8 +66,11 @@ def _residual_dropping_derive_full(match, query, prefiltered=None):
 
 @pytest.fixture
 def planted_bug(monkeypatch):
+    # Patch the subsumption module itself: the tuple engine resolves
+    # ``subsumption.derive_full`` at call time, so the bug lands on the
+    # derivation seam both cache-using variants actually execute.
     monkeypatch.setattr(
-        executor_module, "derive_full", _residual_dropping_derive_full
+        subsumption_module, "derive_full", _residual_dropping_derive_full
     )
 
 
@@ -106,5 +109,5 @@ class TestPlantedBugIsCaught:
 
     def test_clean_again_once_the_bug_is_fixed(self, planted_bug, monkeypatch):
         case = self._failing_case()
-        monkeypatch.setattr(executor_module, "derive_full", real_derive_full)
+        monkeypatch.setattr(subsumption_module, "derive_full", real_derive_full)
         assert case_failure(case) is None

@@ -1,0 +1,70 @@
+"""The differential fuzzer's engine axis: columnar ≡ tuple ≡ oracle.
+
+The columnar variant is the full CMS with ``CMSFeatures.columnar`` on;
+every fuzz case must produce tuple-set-identical answers to the tuple
+engine and the direct-evaluation oracle, and same-seed reruns must be
+byte-identical (report fingerprints compare equal as strings).
+"""
+
+import pytest
+
+from repro.qa import (
+    COLUMNAR_VARIANT,
+    VARIANTS,
+    CaseConfig,
+    CaseGenerator,
+    run_case,
+    run_corpus,
+    variants_for,
+)
+
+CORPUS = 8  # mirrors the smoke corpus of tests/qa/test_differential.py
+
+
+class TestVariantsFor:
+    def test_tuple_is_the_historical_set(self):
+        assert variants_for("tuple") == VARIANTS
+        assert COLUMNAR_VARIANT not in VARIANTS
+
+    def test_both_appends_the_columnar_engine(self):
+        assert variants_for("both") == VARIANTS + (COLUMNAR_VARIANT,)
+
+    def test_columnar_is_the_head_to_head_pair(self):
+        assert variants_for("columnar") == ("full", COLUMNAR_VARIANT)
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ValueError):
+            variants_for("vectorwise")
+
+
+class TestEngineAxisIsClean:
+    def test_healthy_corpus_with_engine_axis(self):
+        cases = CaseGenerator(0).corpus(CORPUS)
+        report = run_corpus(cases, seed=0, variants=variants_for("both"))
+        assert report.clean, (
+            f"divergences={report.divergences} violations={report.violations} "
+            f"failed={report.failed_cases}"
+        )
+
+    def test_faulty_corpus_with_engine_axis(self):
+        # Only "full" is ever faulted; the columnar variant stays healthy
+        # and keeps defining the expected answers through the outage.
+        cases = CaseGenerator(3, CaseConfig.faulty()).corpus(CORPUS)
+        report = run_corpus(cases, seed=3, variants=variants_for("both"))
+        assert report.clean
+
+    def test_outcomes_cover_the_columnar_variant(self):
+        case = CaseGenerator(0).generate(0)
+        report = run_case(case, variants=variants_for("both"))
+        variants_seen = {o.variant for o in report.outcomes}
+        assert COLUMNAR_VARIANT in variants_seen
+        per_variant = len(case.queries)
+        columnar = [o for o in report.outcomes if o.variant == COLUMNAR_VARIANT]
+        assert len(columnar) == per_variant
+        assert all(o.status == "ok" for o in columnar)
+
+    def test_same_seed_reports_are_byte_identical(self):
+        generator = CaseGenerator(7)
+        first = run_corpus(generator.corpus(4), seed=7, variants=variants_for("both"))
+        second = run_corpus(generator.corpus(4), seed=7, variants=variants_for("both"))
+        assert first.fingerprint() == second.fingerprint()

@@ -1,0 +1,115 @@
+"""Mixed-type keys through the local hash joins (tuple and columnar).
+
+The local mirror of ``tests/remote/test_mixed_type_bindings.py``: Python
+lets ``1 == 1.0 == True`` while ``1 != "1"`` even though their reprs
+collide.  :func:`repro.core.rdi.canonical_bindings` dedups binding sets
+by exactly those equality classes, so the local hash joins must bucket
+keys the same way — a join keyed by ``(type, repr)`` would *split* the
+classes and silently lose join rows that the remote semijoin (and the
+tuple engine's dict-based join) would produce.
+"""
+
+import pytest
+
+from repro.core.rdi import canonical_bindings
+from repro.relational.columnar import ColumnarBatch, hash_join_batch
+from repro.relational.operators import join
+from repro.relational.relation import relation_from_columns
+
+
+def left_keys():
+    return relation_from_columns(
+        "l", key=[1, 2, 3, "1", "2"], tag=["a", "b", "c", "d", "e"]
+    )
+
+
+def right_keys():
+    return relation_from_columns("r", key=[1.0, "1", True, 2], val=[10, 20, 30, 40])
+
+
+def batch_join(left, right, pairs):
+    return hash_join_batch(
+        ColumnarBatch.from_relation(left),
+        ColumnarBatch.from_relation(right),
+        pairs,
+        name="j",
+    )
+
+
+class TestColumnarJoinEqualityClasses:
+    def test_float_key_matches_equal_int_key(self):
+        out = batch_join(left_keys(), right_keys(), [("key", "key")])
+        # 1 == 1.0 == True: the int-1 left row matches three right rows.
+        assert {(r[2], r[3]) for r in out.rows if r[0] == 1 and r[0] is not True} >= {
+            (1.0, 10),
+            (True, 30),
+        }
+
+    def test_string_key_does_not_match_numeric_key(self):
+        out = batch_join(left_keys(), right_keys(), [("key", "key")])
+        string_matches = {tuple(r) for r in out.rows if r[0] == "1"}
+        assert string_matches == {("1", "d", "1", 20)}
+
+    def test_matches_the_tuple_engine_join_exactly(self):
+        expected = join(left_keys(), right_keys(), [("key", "key")], name="j")
+        got = batch_join(left_keys(), right_keys(), [("key", "key")])
+        assert got.to_relation() == expected
+
+    def test_multi_key_equality_classes(self):
+        left = relation_from_columns("l", a=[1, "1"], b=[2.0, 2.0])
+        right = relation_from_columns("r", a=[1.0, "1"], b=[2, "2"], c=[7, 8])
+        pairs = [("a", "a"), ("b", "b")]
+        expected = join(left, right, pairs, name="j")
+        got = batch_join(left, right, pairs)
+        assert got.to_relation() == expected
+        # (1, 2.0) joins (1.0, 2) — both components collapse by equality —
+        # while ("1", 2.0) matches nothing ("2" != 2.0).
+        assert set(got.rows) == {(1, 2.0, 1.0, 2, 7)}
+
+    def test_build_side_swap_preserves_equality_classes(self):
+        # The kernel builds on the smaller side; growing one side must
+        # never change which equality classes match.
+        left = left_keys()
+        small = relation_from_columns("r", key=[1.0], val=[99])
+        a = batch_join(left, small, [("key", "key")])
+        b = batch_join(small, left, [("key", "key")])
+        assert {(r[0], r[1]) for r in a.rows} == {(r[2], r[3]) for r in b.rows}
+
+    def test_same_classes_as_canonical_bindings(self):
+        # The join's bucket count for a key column equals the size of the
+        # canonical (deduplicated) binding set for that column.
+        values = (1, 1.0, True, "1", 2, 2.0, "2")
+        canonical = canonical_bindings({"key": values})["key"]
+        left = relation_from_columns(
+            "l", key=list(values), pos=list(range(len(values)))
+        )
+        probe = relation_from_columns("r", key=list(canonical))
+        out = batch_join(left, probe, [("key", "key")])
+        # Every left row joins exactly one canonical representative: the
+        # classes coincide, neither side splits or merges differently.
+        assert len(out) == len(left.rows)
+        tuple_out = join(left, probe, [("key", "key")], name="j")
+        assert out.to_relation() == tuple_out
+
+
+class TestRegressionOneVersusOnePointZero:
+    """The headline fix: 1 and 1.0 must land in the same hash bucket."""
+
+    @pytest.mark.parametrize("spelling", [1, 1.0, True])
+    def test_each_spelling_probes_the_same_bucket(self, spelling):
+        left = relation_from_columns("l", key=[1], tag=["only"])
+        right = relation_from_columns("r", key=[spelling], val=[5])
+        out = batch_join(left, right, [("key", "key")])
+        assert len(out) == 1
+        assert out.rows[0][:2] == (1, "only")
+
+    def test_distinct_spellings_in_one_column_share_matches(self):
+        left = relation_from_columns("l", key=[1, 1.0], tag=["int", "float"])
+        # Relation dedups (1,) vs (1.0,)? No: tags differ, rows distinct.
+        assert len(left) == 2
+        right = relation_from_columns("r", key=[True], val=[5])
+        out = batch_join(left, right, [("key", "key")])
+        assert {tuple(r) for r in out.rows} == {
+            (1, "int", True, 5),
+            (1.0, "float", True, 5),
+        }

@@ -1,0 +1,202 @@
+"""Property suite: compiled predicates ≡ the interpreter, always.
+
+Hypothesis drives randomized conjuncts (mixed int/float/str constants,
+column-to-column comparisons, every operator) over randomized value soups
+including empty relations and repr-colliding values (``1`` vs ``1.0`` vs
+``"1"`` vs ``True``).  The compiled closure and filter kernel must agree
+with :func:`repro.relational.expressions.compile_conjunction` row for
+row, and ``select_batch`` must agree with tuple-engine ``select``.
+
+Counterexamples hypothesis shrinks to are ALSO written out as standard
+repro.qa repro files (``BRAID_QA_REPRO_DIR``, default ``.qa-repros``),
+replayable with ``scripts/braid_fuzz.py --replay`` — the same pattern as
+the subsumption property suite.  Conjuncts whose constants have no CAQL
+spelling (the parser has no quoted strings) are saved as a full-scan
+query over the same rows, with the conjunct recorded in the reason.
+"""
+
+import os
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caql.eval import result_schema
+from repro.qa import write_repro
+from repro.qa.generator import case_from_relations
+from repro.relational.columnar import (
+    ColumnarBatch,
+    compile_batch_predicate,
+    select_batch,
+)
+from repro.relational.expressions import (
+    Col,
+    Comparison,
+    Lit,
+    compile_conjunction,
+)
+from repro.relational.operators import select
+from repro.relational.relation import Relation
+
+SCHEMA = result_schema("r", 3)  # attributes a0, a1, a2
+
+#: The value soup: repr-colliders on purpose.  1 == 1.0 == True but
+#: 1 != "1"; "one" is a CAQL-spellable atom, "1" is not.
+VALUES = [0, 1, 2, -1, 1.0, 2.5, -0.5, "1", "one", "b", True, False, None]
+
+OPS = ["=", "!=", "<", ">", "<=", ">="]
+
+values = st.sampled_from(VALUES)
+columns = st.sampled_from([Col(a) for a in SCHEMA.attributes])
+operands = st.one_of(columns, values.map(Lit))
+conditions = st.builds(Comparison, columns, st.sampled_from(OPS), operands)
+conjunctions = st.lists(conditions, max_size=3)
+rows = st.lists(
+    st.tuples(values, values, values), max_size=12
+)
+
+ATOM = re.compile(r"[a-z][a-z0-9_]*\Z")
+
+
+def _caql_constant(value) -> str | None:
+    """The CAQL spelling of a constant, or None when it has none."""
+    if type(value) is int:
+        return repr(value)
+    if type(value) is float:
+        return repr(value)
+    if isinstance(value, str) and ATOM.match(value):
+        return value
+    return None  # bools, None, non-atom strings: not spellable
+
+
+def _caql_query(conjunction) -> str | None:
+    """The conjunction as a CAQL query over r/3, or None if unspellable."""
+    var_of = {a: f"X{i}" for i, a in enumerate(SCHEMA.attributes)}
+    rendered = []
+    for condition in conjunction:
+        sides = []
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, Col):
+                sides.append(var_of[operand.name])
+            else:
+                spelled = _caql_constant(operand.value)
+                if spelled is None:
+                    return None
+                sides.append(spelled)
+        op = "=<" if condition.op == "<=" else condition.op
+        rendered.append(f"{sides[0]} {op} {sides[1]}")
+    body = ", ".join(["r(X0, X1, X2)"] + rendered)
+    return f"q(X0, X1, X2) :- {body}"
+
+
+def save_counterexample(reason, conjunction, row_list):
+    """Persist the (shrunk) failing inputs as a replayable repro file."""
+    directory = os.environ.get("BRAID_QA_REPRO_DIR", ".qa-repros")
+    os.makedirs(directory, exist_ok=True)
+    relation = Relation(SCHEMA, row_list)
+    text = _caql_query(conjunction)
+    if text is None:
+        # No CAQL spelling for some constant: a full-scan repro over the
+        # same rows, with the exact conjunct preserved in the reason.
+        conjunct = " AND ".join(str(c) for c in conjunction) or "<empty>"
+        reason = f"{reason} [conjunct: {conjunct}]"
+        text = "q(X0, X1, X2) :- r(X0, X1, X2)"
+    case = case_from_relations({"r": relation}, [text])
+    path = os.path.join(
+        directory, f"repro-columnar-{case.fingerprint()[:12]}.json"
+    )
+    write_repro(path, case, reason=reason)
+    return path
+
+
+@settings(max_examples=200, deadline=None)
+@given(conjunctions, rows)
+def test_compiled_row_predicate_matches_interpreter(conjunction, row_list):
+    compiled = compile_batch_predicate(conjunction, SCHEMA)
+    interpreted = compile_conjunction(conjunction, SCHEMA)
+    for row in dict.fromkeys(row_list):
+        if bool(compiled.row(row)) != bool(interpreted(row)):
+            save_counterexample(
+                "property: compiled row predicate diverges from interpreter",
+                conjunction, row_list,
+            )
+            raise AssertionError(
+                f"compiled != interpreted on {row!r} for {conjunction}"
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(conjunctions, rows)
+def test_filter_kernel_selects_interpreter_rows(conjunction, row_list):
+    distinct = list(dict.fromkeys(row_list))
+    batch = ColumnarBatch.from_rows(SCHEMA, distinct, distinct=True)
+    compiled = compile_batch_predicate(conjunction, SCHEMA)
+    interpreted = compile_conjunction(conjunction, SCHEMA)
+    expected = [i for i, row in enumerate(distinct) if interpreted(row)]
+    got = compiled.filter(batch.columns)
+    if got != expected:
+        save_counterexample(
+            "property: filter kernel index set diverges from interpreter",
+            conjunction, row_list,
+        )
+        raise AssertionError(f"filter {got} != {expected} for {conjunction}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(conjunctions, rows)
+def test_select_batch_matches_tuple_select(conjunction, row_list):
+    relation = Relation(SCHEMA, row_list)
+    expected = select(relation, conjunction)
+    got = select_batch(ColumnarBatch.from_relation(relation), conjunction)
+    if got.to_relation() != expected or got.rows != expected.rows:
+        save_counterexample(
+            "property: select_batch diverges from tuple-engine select",
+            conjunction, row_list,
+        )
+        raise AssertionError(f"select_batch != select for {conjunction}")
+
+
+def test_empty_relation_survives_every_kernel():
+    conjunction = [Comparison(Col("a0"), ">", Lit(1))]
+    batch = ColumnarBatch.from_relation(Relation(SCHEMA))
+    out = select_batch(batch, conjunction)
+    assert len(out) == 0
+    assert out.to_relation() == Relation(SCHEMA)
+
+
+def test_repr_colliders_follow_python_equality():
+    # 1 == 1.0 == True, but 1 != "1": the compiled path must preserve the
+    # exact equality classes canonical_bindings dedups by.
+    relation = Relation(SCHEMA, [(1, 0, 0), (1.0, 1, 1), ("1", 2, 2), (True, 3, 3)])
+    # 1.0 and True dedup against 1 only when ALL columns collide; here the
+    # other columns differ so all four rows survive as distinct.
+    assert len(relation) == 4
+    conjunction = [Comparison(Col("a0"), "=", Lit(1))]
+    got = select_batch(ColumnarBatch.from_relation(relation), conjunction)
+    assert got.to_relation() == select(relation, conjunction)
+    assert ("1", 2, 2) not in set(got.rows)
+    assert len(got) == 3  # 1, 1.0, True all equal 1
+
+
+def test_counterexamples_become_replayable_repros(tmp_path, monkeypatch):
+    """The auto-save path itself: written files load and replay cleanly."""
+    monkeypatch.setenv("BRAID_QA_REPRO_DIR", str(tmp_path))
+    from repro.qa import load_repro, replay
+
+    spellable = [Comparison(Col("a0"), "<=", Lit(2))]
+    path = save_counterexample(
+        "demo", spellable, [(0, 1, 2), (3, 4, 5)]
+    )
+    assert load_repro(path).queries == ["q(X0, X1, X2) :- r(X0, X1, X2), X0 =< 2"]
+    assert not replay(path).failed
+
+    unspellable = [Comparison(Col("a0"), "=", Lit("1"))]
+    path = save_counterexample("demo", unspellable, [(0, 1, 2)])
+    loaded = load_repro(path)
+    assert loaded.queries == ["q(X0, X1, X2) :- r(X0, X1, X2)"]
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert "a0 = '1'" in payload["reason"]  # the conjunct survives in the reason
+    assert not replay(path).failed
