@@ -29,6 +29,7 @@ import sys
 import time
 
 from repro.qa import (
+    FEDERATED_VARIANT,
     CaseConfig,
     CaseGenerator,
     case_failure,
@@ -42,6 +43,7 @@ from repro.qa import (
 PROFILES = {
     "healthy": CaseConfig,
     "faulty": CaseConfig.faulty,
+    "federated": CaseConfig.federated,
 }
 
 
@@ -58,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         choices=sorted(PROFILES),
         default="healthy",
-        help="case profile: healthy link or PR-1 fault schedules",
+        help="case profile: healthy link, PR-1 fault schedules, or "
+        "multi-backend federation (tables spread over 2-3 backends)",
     )
     parser.add_argument(
         "--engine",
@@ -120,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
 
     config = PROFILES[args.profile]()
     variants = variants_for(args.engine)
+    if args.profile == "federated":
+        # The federation axis: the full CMS again, over the case's tables
+        # scattered across 2-3 backends, cross-checked like the rest.
+        variants = variants + (FEDERATED_VARIANT,)
     generator = CaseGenerator(args.seed, config)
     started = time.time()
     cases = generator.corpus(args.cases, start=args.start)

@@ -131,6 +131,8 @@ class CacheManagementSystem:
         metrics: Metrics | None = None,
         pin_streams: bool = False,
         tracer=None,
+        rdi: RemoteInterface | None = None,
+        backend_of=None,
     ):
         self.remote = remote
         self.clock: SimClock = remote.clock
@@ -157,8 +159,16 @@ class CacheManagementSystem:
         )
         self.shares_cache = cache is not None
         self.advice_manager = AdviceManager()
-        self.rdi = RemoteInterface(
-            remote, self.features.buffer_size, self.features.retry_policy
+        #: The remote interface.  Built here for the single-server case; a
+        #: federation injects its own scatter-gather implementation of the
+        #: same contract (``rdi=``), which keeps its per-backend retry
+        #: budgets and breakers instead of the CMS-level policy.
+        self.rdi = (
+            rdi
+            if rdi is not None
+            else RemoteInterface(
+                remote, self.features.buffer_size, self.features.retry_policy
+            )
         )
         self._archive = (
             StaleArchive(self.features.archive_elements)
@@ -178,6 +188,7 @@ class CacheManagementSystem:
             self.features,
             remote_available=self.rdi.remote_available,
             tracer=self.tracer,
+            backend_of=backend_of,
         )
         self.monitor = ExecutionMonitor(
             self.cache,
@@ -483,7 +494,9 @@ class CacheManagementSystem:
         Preference order (the paper's bias toward answering from cache):
         a subsuming stale-archive copy first (complete rows, unknown
         freshness), then a partial answer derived from the plan's cache
-        parts.  Re-raises ``error`` when neither exists.
+        parts, then — federated links only — a scatter over the surviving
+        backends with the dark backends' columns nulled out.  Re-raises
+        ``error`` when none exists.
         """
         if not self.features.degradation:
             raise error
@@ -500,6 +513,13 @@ class CacheManagementSystem:
         if partial is not None:
             logger.debug("degraded[%s]: partial answer from cache parts", psj.name)
             return partial
+        try:
+            survivors = self.rdi.fetch_partial(psj)
+        except RemoteDBMSError:
+            survivors = None
+        if survivors is not None:
+            logger.debug("degraded[%s]: partial answer from surviving backends", psj.name)
+            return survivors
         raise error
 
     def _materialize(self, result) -> Relation:

@@ -68,6 +68,7 @@ class QueryPlanner:
         features: PlannerFeatures | None = None,
         remote_available: Callable[[], bool] | None = None,
         tracer=None,
+        backend_of: Callable[[str], tuple[str, CostProfile]] | None = None,
     ):
         self.cache = cache
         self.advice = advice
@@ -82,6 +83,10 @@ class QueryPlanner:
         self.remote_available = (
             remote_available if remote_available is not None else (lambda: True)
         )
+        #: Federation hook: resolves a base relation to its home backend's
+        #: ``(name, CostProfile)``.  ``None`` (the single-backend default)
+        #: keeps the original one-profile cost formulas byte-for-byte.
+        self.backend_of = backend_of
         #: When set, every produced plan is run through
         #: :meth:`QueryPlan.check_invariants` before it leaves the planner.
         #: Off by default (tests and the fuzzer flip it on).
@@ -529,7 +534,6 @@ class QueryPlanner:
         the win must come from shipping fewer result tuples, and the
         shipped IN-list is charged as uplink so the reduction stays honest.
         """
-        touched = sum(self.stats_of(occ.pred).cardinality for occ in sub.occurrences)
         shipped = self.estimate_rows(sub)
         bindings = 0.0
         for spec in specs:
@@ -537,11 +541,12 @@ class QueryPlanner:
             if domain > 0:
                 shipped *= min(1.0, spec.estimated_values / domain)
             bindings += spec.estimated_values
+        latency, server, wire = self._remote_terms(sub)
         return (
-            self.profile.remote_latency
-            + self.profile.server_per_tuple * touched
-            + self.profile.transfer_per_tuple * shipped
-            + self.profile.uplink_per_value * bindings
+            latency
+            + server
+            + wire.transfer_per_tuple * shipped
+            + wire.uplink_per_value * bindings
         )
 
     def _distinct_of(self, query: PSJQuery, qualified: str) -> float:
@@ -577,13 +582,45 @@ class QueryPlanner:
         return max(rows, 0.0)
 
     def _remote_cost(self, psj: PSJQuery) -> float:
-        touched = sum(self.stats_of(occ.pred).cardinality for occ in psj.occurrences)
         shipped = self.estimate_rows(psj)
-        return (
-            self.profile.remote_latency
-            + self.profile.server_per_tuple * touched
-            + self.profile.transfer_per_tuple * shipped
+        latency, server, wire = self._remote_terms(psj)
+        return latency + server + wire.transfer_per_tuple * shipped
+
+    def _remote_terms(self, psj: PSJQuery) -> tuple[float, float, CostProfile]:
+        """Latency and server-work terms of a remote fetch, plus the profile
+        governing its wire rates.
+
+        Single-backend (no :attr:`backend_of` hook): one round trip and one
+        profile — exactly the original formulas.  Federated: a sub-query
+        spanning several backends pays each distinct backend's round-trip
+        latency, server work is rated per occurrence by its home backend,
+        and the wire rates are the worst (most expensive) profile involved
+        — conservative, since the gather ships every part over its own
+        link.
+        """
+        if self.backend_of is None:
+            touched = sum(
+                self.stats_of(occ.pred).cardinality for occ in psj.occurrences
+            )
+            return (
+                self.profile.remote_latency,
+                self.profile.server_per_tuple * touched,
+                self.profile,
+            )
+        profiles: dict[str, CostProfile] = {}
+        server = 0.0
+        for occ in psj.occurrences:
+            name, profile = self.backend_of(occ.pred)
+            profiles.setdefault(name, profile)
+            server += profile.server_per_tuple * self.stats_of(occ.pred).cardinality
+        if not profiles:
+            return self.profile.remote_latency, 0.0, self.profile
+        latency = sum(p.remote_latency for p in profiles.values())
+        wire = max(
+            profiles.values(),
+            key=lambda p: (p.transfer_per_tuple, p.uplink_per_value),
         )
+        return latency, server, wire
 
     def _derive_cost(self, match: SubsumptionMatch) -> float:
         rows = match.element.rows_materialized()

@@ -110,6 +110,7 @@ class RemoteInterface:
             server.metrics,
             probe_after=self._retry.breaker_probe_after,
             tracer=self.tracer,
+            name=getattr(server, "name", ""),
         )
 
     @property
@@ -235,6 +236,17 @@ class RemoteInterface:
         arity = len(schema.attributes)
         positional = Schema(table, tuple(f"a{i}" for i in range(arity)))
         return Relation(positional, rows)
+
+    def fetch_partial(self, psj: PSJQuery) -> Relation | None:
+        """Best-effort partial answer when the remote link is failing.
+
+        A single-backend link has no partial story — the one server is the
+        server that just failed — so this returns ``None`` and the CMS
+        falls through to its archive/cache degradation paths.  The
+        federated interface overrides this to answer from surviving
+        backends with the missing backends' columns nulled out.
+        """
+        return None
 
     def estimate_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
         """Planner hook: simulated seconds a remote request would cost.

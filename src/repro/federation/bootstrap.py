@@ -1,0 +1,202 @@
+"""Building a federation: backend specs → servers, catalog, interface.
+
+One call wires the whole multi-backend remote layer:
+
+* one :class:`~repro.remote.server.RemoteDBMS` per spec — its own engine
+  (pure-Python or sqlite), its own :class:`~repro.common.clock.CostProfile`,
+  its own fault policy, all sharing one :class:`SimClock` and one tracer,
+* per-backend metrics scopes under one root ledger, so ``remote.*``
+  counters aggregate at the root while each backend's share stays
+  readable under ``metrics.scopes()[name]``,
+* catalog statistics refreshed from engine contents at bootstrap
+  (:meth:`RemoteDBMS.refresh_statistics`), so the cardinalities that
+  drive semijoin costing are honest even after engine-side reloads,
+* a :class:`~repro.federation.interface.FederatedInterface` with one
+  resilient link (retry budget + circuit breaker) per backend.
+
+The resulting :class:`Federation` quacks enough like a single server
+(``clock``/``profile``/``metrics``/``tracer``/``set_fault_policy``) to
+stand in the ``remote`` position of a
+:class:`~repro.core.cms.CacheManagementSystem`; :meth:`Federation.cms`
+builds one with the federated interface injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.metrics import Metrics
+from repro.obs.tracer import Tracer
+from repro.relational.relation import Relation
+from repro.remote.engine import PurePythonEngine
+from repro.remote.faults import FaultPolicy, RetryPolicy
+from repro.remote.server import RemoteDBMS
+from repro.federation.catalog import FederatedCatalog
+from repro.federation.interface import FederatedInterface
+from repro.federation.naive import NaiveFederation
+
+
+@dataclass
+class BackendSpec:
+    """Declarative description of one federated backend."""
+
+    #: Backend id: metrics scope, clock track suffix, trace tag.
+    name: str
+    #: Base tables this backend owns.
+    tables: Sequence[Relation] = field(default_factory=tuple)
+    #: ``"python"`` (deterministic pure-Python engine) or ``"sqlite"``.
+    engine: str = "python"
+    #: Per-backend cost profile (None = the federation default).
+    profile: CostProfile | None = None
+    #: Per-backend retry budget (None = the RDI default policy).
+    retry: RetryPolicy | None = None
+    #: Initial fault policy (None = healthy).
+    faults: FaultPolicy | None = None
+
+
+class Federation:
+    """A bootstrapped multi-backend remote layer."""
+
+    def __init__(
+        self,
+        catalog: FederatedCatalog,
+        interface: FederatedInterface,
+        clock: SimClock,
+        metrics: Metrics,
+        tracer,
+        profile: CostProfile,
+        buffer_size: int = 64,
+    ):
+        self.catalog = catalog
+        self.interface = interface
+        self.clock = clock
+        #: The root ledger: aggregate ``remote.*`` totals; per-backend
+        #: shares live in ``metrics.scopes()[backend]``.
+        self.metrics = metrics
+        self.tracer = tracer
+        #: Workstation-side profile (cache work, local joins).
+        self.profile = profile
+        self._buffer_size = buffer_size
+
+    # -- backends ---------------------------------------------------------------
+    def backends(self) -> list[str]:
+        """All backend names, sorted."""
+        return self.catalog.backends()
+
+    def backend(self, name: str) -> RemoteDBMS:
+        """The backend server registered under ``name``."""
+        return self.catalog.backend(name)
+
+    def set_backend_faults(self, name: str, faults: FaultPolicy | None) -> None:
+        """Install (or clear) one backend's fault policy mid-run — e.g.
+        turn a backend dark with ``FaultPolicy(permanent_rate=1.0)``."""
+        self.catalog.backend(name).set_fault_policy(faults)
+
+    def set_fault_policy(self, faults: FaultPolicy | None) -> None:
+        """Install one policy on *every* backend (the single-server surface
+        the differential runner drives)."""
+        for name in self.catalog.backends():
+            self.catalog.backend(name).set_fault_policy(faults)
+
+    def refresh_statistics(self) -> None:
+        """Re-sync every backend's catalog statistics with its engine."""
+        for name in self.catalog.backends():
+            self.catalog.backend(name).refresh_statistics()
+
+    # -- clients ----------------------------------------------------------------
+    def cms(
+        self,
+        capacity_bytes: int = 4_000_000,
+        features=None,
+        builtins=None,
+        cache=None,
+        pin_streams: bool = False,
+    ):
+        """A CMS over this federation: the federated interface is injected
+        as the RDI and the planner costs remote parts per backend."""
+        from repro.core.cms import CacheManagementSystem
+
+        return CacheManagementSystem(
+            self,
+            capacity_bytes=capacity_bytes,
+            features=features,
+            builtins=builtins,
+            cache=cache,
+            metrics=self.metrics,
+            pin_streams=pin_streams,
+            tracer=self.tracer,
+            rdi=self.interface,
+            backend_of=self.interface.cost_profile_of,
+        )
+
+    def naive(self, builtins=None) -> NaiveFederation:
+        """The naive per-backend loose-coupling baseline over the *same*
+        backends (shared clock/metrics: measures marginal cost only; for a
+        clean comparison build a second federation from the same specs)."""
+        unreduced = FederatedInterface(
+            self.catalog,
+            buffer_size=self._buffer_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            local_profile=self.profile,
+            semijoin=False,
+        )
+        return NaiveFederation(unreduced, builtins=builtins)
+
+
+def build_federation(
+    specs: Sequence[BackendSpec],
+    clock: SimClock | None = None,
+    metrics: Metrics | None = None,
+    tracer=None,
+    profile: CostProfile | None = None,
+    buffer_size: int = 64,
+) -> Federation:
+    """Wire up servers, catalog, and interface from backend specs."""
+    if not specs:
+        raise ValueError("a federation needs at least one backend spec")
+    clock = clock if clock is not None else SimClock()
+    metrics = metrics if metrics is not None else Metrics()
+    tracer = tracer if tracer is not None else Tracer.disabled()
+    profile = profile if profile is not None else CostProfile()
+    catalog = FederatedCatalog()
+    retries: dict[str, RetryPolicy] = {}
+    for spec in specs:
+        if spec.engine == "sqlite":
+            from repro.remote.sqlite_backend import SqliteEngine
+
+            engine = SqliteEngine()
+        elif spec.engine == "python":
+            engine = PurePythonEngine()
+        else:
+            raise ValueError(f"unknown engine {spec.engine!r} for {spec.name!r}")
+        server = RemoteDBMS(
+            engine=engine,
+            clock=clock,
+            profile=spec.profile if spec.profile is not None else profile,
+            metrics=metrics.scope(spec.name),
+            faults=spec.faults,
+            tracer=tracer,
+            name=spec.name,
+        )
+        for relation in spec.tables:
+            server.load_table(relation)
+        # Honest statistics at bootstrap: recomputed from what the engine
+        # actually holds, not what register() happened to see.
+        server.refresh_statistics()
+        catalog.register(spec.name, server)
+        if spec.retry is not None:
+            retries[spec.name] = spec.retry
+    interface = FederatedInterface(
+        catalog,
+        buffer_size=buffer_size,
+        retries=retries,
+        metrics=metrics,
+        tracer=tracer,
+        local_profile=profile,
+    )
+    return Federation(
+        catalog, interface, clock, metrics, tracer, profile, buffer_size
+    )

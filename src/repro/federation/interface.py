@@ -1,0 +1,530 @@
+"""The federated RDI: one interface, many autonomous backends.
+
+The CMS speaks to a single Remote DBMS Interface; this class keeps that
+contract while the far side is a *federation* — several independent
+servers, each with its own catalog, cost profile, fault policy, retry
+budget, and circuit breaker.  A query whose base relations all live on one
+backend is routed straight through (``rdi.route``).  A query spanning
+backends is **scatter-gathered**:
+
+1. partition the occurrences by home backend (the planner's sub-query
+   construction, reused here: per-backend conditions are pushed down,
+   projections narrowed to needed columns),
+2. fetch the cheapest part first (per-backend statistics drive the order),
+3. ship the distinct join-column values of already-fetched parts to later
+   backends as IN-lists — the PR 4 semijoin reduction, applied *between*
+   backends, with :func:`~repro.core.rdi.canonical_bindings` keeping the
+   wire deterministic,
+4. short-circuit the remaining round trips when any part (or binding set)
+   comes back empty — a conjunctive join with an empty input is empty,
+5. join the parts locally (the executor's combine idiom) and project.
+
+Each per-backend link is a full :class:`~repro.core.rdi.RemoteInterface`,
+so retries, timeouts, and circuit breaking happen per backend; one dark
+backend never blocks the others.  :meth:`fetch_partial` is the degraded
+path: answer from the surviving backends with the dark backends' columns
+nulled out, for the CMS to tag ``degraded`` (the PR 1 contract, per
+source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.errors import RemoteDBMSError, UnknownRelationError
+from repro.common.metrics import CACHE_TUPLES_PROCESSED, Metrics
+from repro.relational.operators import join, select
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.statistics import RelationStatistics
+from repro.caql.eval import result_schema
+from repro.caql.psj import ConstProj, PSJQuery, parse_column
+from repro.core.rdi import RemoteInterface, canonical_bindings
+from repro.remote.faults import RetryPolicy
+from repro.federation.catalog import FederatedCatalog
+
+
+@dataclass(frozen=True)
+class FederatedPart:
+    """One backend's share of a scattered query."""
+
+    #: Home backend name.
+    backend: str
+    #: The part as a self-contained PSJ query (pushed-down conditions,
+    #: projection narrowed to the needed columns).
+    sub: PSJQuery
+    #: Occurrence tags of the original query this part covers.
+    tags: frozenset[str]
+    #: Qualified query columns the part exposes (== ``sub.projection``).
+    columns: tuple[str, ...]
+    #: Touched-cardinality estimate, used to order the scatter.
+    estimate: float
+
+
+def _needed_columns(query: PSJQuery, tags: frozenset[str]) -> list[str]:
+    """Columns a part must expose: projection columns inside ``tags`` plus
+    the covered side of conditions crossing the part boundary (the planner's
+    rule, reused so parts compose exactly like cache/remote plan parts)."""
+    prefixes = tuple(tag + "." for tag in tags)
+    needed: list[str] = []
+
+    def want(col: str) -> None:
+        if col.startswith(prefixes) and col not in needed:
+            needed.append(col)
+
+    for entry in query.projection:
+        if not isinstance(entry, ConstProj):
+            want(entry)
+    for condition in query.conditions:
+        cols = condition.columns()
+        inside = {c for c in cols if c.startswith(prefixes)}
+        if inside and inside != cols:
+            for col in inside:
+                want(col)
+    return needed
+
+
+def _sub_query(query: PSJQuery, tags: frozenset[str], label: str) -> PSJQuery:
+    """One backend's share of ``query`` as a self-contained PSJ query."""
+    prefixes = tuple(tag + "." for tag in tags)
+    occurrences = tuple(o for o in query.occurrences if o.tag in tags)
+    conditions = tuple(
+        c
+        for c in query.conditions
+        if c.columns() and all(col.startswith(prefixes) for col in c.columns())
+    )
+    projection = tuple(_needed_columns(query, tags))
+    return PSJQuery(f"{query.name}__{label}", occurrences, conditions, projection)
+
+
+class FederatedInterface:
+    """Scatter-gather implementation of the single-RDI contract."""
+
+    def __init__(
+        self,
+        catalog: FederatedCatalog,
+        buffer_size: int = 64,
+        retries: dict[str, RetryPolicy] | None = None,
+        default_retry: RetryPolicy | None = None,
+        metrics: Metrics | None = None,
+        tracer=None,
+        local_profile: CostProfile | None = None,
+        semijoin: bool = True,
+    ):
+        backends = catalog.backends()
+        if not backends:
+            raise ValueError("a federation needs at least one backend")
+        self.catalog = catalog
+        first = catalog.backend(backends[0])
+        self.clock: SimClock = first.clock
+        for name in backends[1:]:
+            if catalog.backend(name).clock is not self.clock:
+                raise ValueError("federated backends must share one SimClock")
+        self.tracer = tracer if tracer is not None else first.tracer
+        #: The aggregate ledger ("remote.*" totals across backends); each
+        #: backend server records into its own child scope of this.
+        self.metrics: Metrics = metrics if metrics is not None else first.metrics
+        #: Workstation-side profile: rates the local gather/join work.
+        self.local_profile = (
+            local_profile if local_profile is not None else CostProfile()
+        )
+        #: With semijoin off, the scatter ships every part unreduced and
+        #: never short-circuits — the "naive per-backend loose coupling"
+        #: baseline E19 compares against.
+        self.semijoin = semijoin
+        retries = retries or {}
+        #: One resilient link per backend: its own retry budget, its own
+        #: breaker (tagged with the backend name in traces).
+        self.links: dict[str, RemoteInterface] = {
+            name: RemoteInterface(
+                catalog.backend(name),
+                buffer_size,
+                retries.get(name, default_retry),
+            )
+            for name in backends
+        }
+
+    # -- contract: availability / metadata -------------------------------------
+    def link_for(self, table: str) -> RemoteInterface:
+        """The resilient link to the backend owning ``table``."""
+        return self.links[self.catalog.home_of(table)]
+
+    def breaker_of(self, backend: str):
+        """The named backend's circuit breaker (observability/tests)."""
+        return self.links[backend].breaker
+
+    def remote_available(self) -> bool:
+        """Planner hook: at least one backend would accept a request."""
+        return any(
+            self.links[name].remote_available() for name in self.catalog.backends()
+        )
+
+    def schema_of(self, table: str) -> Schema:
+        return self.link_for(table).schema_of(table)
+
+    def statistics_of(self, table: str) -> RelationStatistics:
+        return self.link_for(table).statistics_of(table)
+
+    def has_table(self, table: str) -> bool:
+        return self.catalog.has(table)
+
+    def cost_profile_of(self, table: str) -> tuple[str, CostProfile]:
+        """Planner hook: home backend name and cost profile of ``table``."""
+        name = self.catalog.home_of(table)
+        return name, self.catalog.backend(name).profile
+
+    def estimate_cost(self, tuples_touched: float, tuples_shipped: float) -> float:
+        """Conservative planner estimate: the most expensive backend."""
+        return max(
+            self.links[name].estimate_cost(tuples_touched, tuples_shipped)
+            for name in self.catalog.backends()
+        )
+
+    # -- partitioning -----------------------------------------------------------
+    def partition(self, psj: PSJQuery) -> list[FederatedPart]:
+        """Split ``psj`` by home backend (deterministic name order)."""
+        if not psj.occurrences:
+            raise UnknownRelationError(
+                f"{psj.name}: cannot route a query with no base relations"
+            )
+        groups: dict[str, list[str]] = {}
+        for occ in psj.occurrences:
+            groups.setdefault(self.catalog.home_of(occ.pred), []).append(occ.tag)
+        parts: list[FederatedPart] = []
+        for backend in sorted(groups):
+            tags = frozenset(groups[backend])
+            sub = _sub_query(psj, tags, backend)
+            estimate = float(
+                sum(self.statistics_of(o.pred).cardinality for o in sub.occurrences)
+            )
+            parts.append(
+                FederatedPart(backend, sub, tags, tuple(sub.projection), estimate)
+            )
+        return parts
+
+    # -- contract: execution ----------------------------------------------------
+    def fetch(
+        self,
+        psj: PSJQuery,
+        bindings: dict[str, tuple[object, ...]] | None = None,
+    ) -> Relation:
+        """Fetch ``psj``: direct routing when one backend owns every base
+        relation, scatter-gather otherwise."""
+        parts = self.partition(psj)
+        if len(parts) == 1:
+            part = parts[0]
+            self.tracer.event(
+                "rdi.route",
+                view=psj.name,
+                backend=part.backend,
+                tables=sorted({o.pred for o in psj.occurrences}),
+            )
+            return self.links[part.backend].fetch(psj, bindings=bindings)
+        return self._scatter_gather(psj, parts, bindings)
+
+    def fetch_many(self, psjs: list[PSJQuery]) -> list[Relation]:
+        """Batched fetch: single-backend queries share their backend's one
+        round trip (``fetch_many`` per link); spanning queries scatter."""
+        if not psjs:
+            return []
+        if len(psjs) == 1:
+            return [self.fetch(psjs[0])]
+        grouped: dict[str, list[int]] = {}
+        spanning: list[int] = []
+        partitions = [self.partition(psj) for psj in psjs]
+        for index, parts in enumerate(partitions):
+            if len(parts) == 1:
+                grouped.setdefault(parts[0].backend, []).append(index)
+            else:
+                spanning.append(index)
+        results: dict[int, Relation] = {}
+        for backend in sorted(grouped):
+            indexes = grouped[backend]
+            for index in indexes:
+                self.tracer.event(
+                    "rdi.route",
+                    view=psjs[index].name,
+                    backend=backend,
+                    tables=sorted({o.pred for o in psjs[index].occurrences}),
+                )
+            batch = self.links[backend].fetch_many([psjs[i] for i in indexes])
+            for index, relation in zip(indexes, batch):
+                results[index] = relation
+        for index in spanning:
+            results[index] = self._scatter_gather(psjs[index], partitions[index], None)
+        return [results[index] for index in range(len(psjs))]
+
+    def fetch_base_relation(self, table: str) -> Relation:
+        """Fetch one whole base table from its home backend."""
+        if not self.catalog.has(table):
+            raise UnknownRelationError(table)
+        backend = self.catalog.home_of(table)
+        self.tracer.event(
+            "rdi.route", view=table, backend=backend, tables=[table]
+        )
+        return self.links[backend].fetch_base_relation(table)
+
+    # -- scatter-gather ---------------------------------------------------------
+    def _scatter_gather(
+        self,
+        psj: PSJQuery,
+        parts: list[FederatedPart],
+        bindings: dict[str, tuple[object, ...]] | None,
+    ) -> Relation:
+        supplied = canonical_bindings(bindings)
+        ordered = (
+            sorted(parts, key=lambda p: (p.estimate, p.backend))
+            if self.semijoin
+            else parts
+        )
+        self.tracer.event(
+            "federation.scatter",
+            view=psj.name,
+            backends=[p.backend for p in ordered],
+            parts=len(ordered),
+        )
+        fetched: list[tuple[FederatedPart, Relation]] = []
+        empty = False
+        for part in ordered:
+            self.tracer.event(
+                "rdi.route",
+                view=part.sub.name,
+                backend=part.backend,
+                tables=sorted({o.pred for o in part.sub.occurrences}),
+            )
+            if empty:
+                # Conjunctive join already known empty: no round trip.
+                fetched.append((part, self._empty_part(part)))
+                continue
+            part_bindings = self._part_bindings(psj, part, supplied, fetched)
+            if part_bindings is None:
+                # An empty binding set proves the join empty — skip the
+                # round trip entirely (zero requests, zero tuples).
+                self.tracer.event(
+                    "federation.short_circuit",
+                    view=part.sub.name,
+                    backend=part.backend,
+                )
+                empty = True
+                fetched.append((part, self._empty_part(part)))
+                continue
+            relation = self.links[part.backend].fetch(
+                part.sub, bindings=part_bindings or None
+            )
+            labeled = self._labeled(part, relation)
+            if self.semijoin and not len(labeled):
+                empty = True
+            fetched.append((part, labeled))
+        result = self._gather(psj, fetched)
+        self.tracer.event(
+            "federation.gather",
+            view=psj.name,
+            parts=len(fetched),
+            tuples=len(result),
+        )
+        return result
+
+    def _part_bindings(
+        self,
+        psj: PSJQuery,
+        part: FederatedPart,
+        supplied: dict[str, tuple[object, ...]],
+        fetched: list[tuple[FederatedPart, Relation]],
+    ) -> dict[str, tuple[object, ...]] | None:
+        """Binding sets to ship with ``part``: the caller's bindings that
+        land in this part, plus — semijoin mode — the distinct values of
+        cross-backend equality joins against already-fetched parts.
+        Returns None when any set is empty (the join is provably empty)."""
+        out: dict[str, tuple[object, ...]] = {}
+        for column, values in supplied.items():
+            tag, _position = parse_column(column)
+            if tag in part.tags:
+                out[column] = values
+        if self.semijoin:
+            for condition in psj.conditions:
+                if condition.op != "=" or not condition.is_col_col():
+                    continue
+                left, right = condition.left.name, condition.right.name
+                left_in = parse_column(left)[0] in part.tags
+                right_in = parse_column(right)[0] in part.tags
+                if left_in == right_in:
+                    continue
+                inside, outside = (left, right) if left_in else (right, left)
+                values = self._column_values(outside, fetched)
+                if values is None:
+                    continue
+                if inside in out:
+                    existing = set(out[inside])
+                    values = tuple(v for v in values if v in existing)
+                out[inside] = values
+        for values in out.values():
+            if not values:
+                return None
+        return out
+
+    def _column_values(
+        self, column: str, fetched: list[tuple[FederatedPart, Relation]]
+    ) -> tuple[object, ...] | None:
+        """Distinct values of a qualified column across fetched parts."""
+        for _part, relation in fetched:
+            if column not in relation.schema.attributes:
+                continue
+            position = relation.schema.position(column)
+            seen: set[object] = set()
+            values: list[object] = []
+            for row in relation:
+                value = row[position]
+                if value not in seen:
+                    seen.add(value)
+                    values.append(value)
+            self._charge_local(len(relation))  # the extraction re-read
+            return tuple(values)
+        return None
+
+    def _labeled(self, part: FederatedPart, relation: Relation) -> Relation:
+        """Expose a part's positional result under qualified column names."""
+        if not part.columns:
+            schema = Schema(part.backend, (f"_exists_{part.backend}",))
+            return Relation(schema, [(True,)] if len(relation) else [])
+        return Relation(Schema(part.backend, part.columns), iter(relation))
+
+    def _empty_part(self, part: FederatedPart) -> Relation:
+        if not part.columns:
+            return Relation(Schema(part.backend, (f"_exists_{part.backend}",)), [])
+        return Relation(Schema(part.backend, part.columns), [])
+
+    def _gather(
+        self,
+        psj: PSJQuery,
+        fetched: list[tuple[FederatedPart, Relation]],
+        partial: bool = False,
+    ) -> Relation:
+        """Join the gathered parts locally and project to the query shape
+        (the executor's combine idiom: equality pairs drive hash joins,
+        other cross conditions ride as residuals).
+
+        With ``partial`` (some backends were dark), conditions touching
+        columns that never arrived are dropped and those projection
+        columns come back ``None`` — the caller tags the stream
+        ``degraded``."""
+        pushed: list = []
+        for part, _relation in fetched:
+            pushed.extend(part.sub.conditions)
+        pending = [c for c in psj.conditions if c not in pushed]
+        exists_ok = all(
+            len(relation) for part, relation in fetched if not part.columns
+        )
+        value_parts = [relation for part, relation in fetched if part.columns]
+        schema = result_schema(psj.name, psj.arity)
+
+        if not value_parts:
+            # Every part was an existence check; projection is constants.
+            if not exists_ok:
+                return Relation(schema, [])
+            if psj.projection:
+                row = tuple(
+                    entry.value if isinstance(entry, ConstProj) else None
+                    for entry in psj.projection
+                )
+            else:
+                row = (True,)
+            return Relation(schema, [row])
+
+        combined = value_parts[0]
+        seen_cols = set(combined.schema.attributes)
+        input_rows = len(combined)
+        for relation in value_parts[1:]:
+            right_cols = set(relation.schema.attributes)
+            pairs, residual, remaining = [], [], []
+            for condition in pending:
+                cols = condition.columns()
+                if cols <= (seen_cols | right_cols):
+                    left_side = cols & seen_cols
+                    right_side = cols & right_cols
+                    if (
+                        condition.op == "="
+                        and condition.is_col_col()
+                        and len(left_side) == 1
+                        and len(right_side) == 1
+                    ):
+                        pairs.append((left_side.pop(), right_side.pop()))
+                    else:
+                        residual.append(condition)
+                else:
+                    remaining.append(condition)
+            combined = join(
+                combined, relation, pairs, name="gather", conditions=residual
+            )
+            seen_cols |= right_cols
+            input_rows += len(relation) + len(combined)
+            pending = remaining
+        if pending:
+            # In a full gather every pending condition is applicable (its
+            # columns are needed columns of some part); in a partial one,
+            # conditions touching a dark backend's columns are dropped.
+            applicable = [c for c in pending if c.columns() <= seen_cols]
+            if applicable:
+                combined = select(combined, applicable)
+
+        entries: list[tuple[str, object]] = []
+        for entry in psj.projection:
+            if isinstance(entry, ConstProj):
+                entries.append(("const", entry.value))
+            elif not partial or entry in combined.schema.attributes:
+                entries.append(("col", combined.schema.position(entry)))
+            else:
+                entries.append(("const", None))  # a dark backend owned it
+        if entries:
+            rows = (
+                tuple(v if kind == "const" else row[v] for kind, v in entries)
+                for row in combined
+            )
+            result = (
+                Relation(schema, rows) if exists_ok else Relation(schema, [])
+            )
+        else:
+            result = Relation(
+                schema, [(True,)] if (len(combined) and exists_ok) else []
+            )
+        self._charge_local(input_rows + len(result))
+        return result
+
+    # -- degraded answers -------------------------------------------------------
+    def fetch_partial(self, psj: PSJQuery) -> Relation | None:
+        """Best-effort answer from the surviving backends.
+
+        Scatters independently (no cross-backend bindings: a surviving
+        part must not be narrowed by a part that may yet fail), tolerating
+        per-backend failures.  Surviving parts are joined on the
+        conditions they can check; columns owned by dark backends come
+        back ``None``.  Returns None when *no* part survived — the caller
+        then falls back to its archive/raise path.
+        """
+        try:
+            parts = self.partition(psj)
+        except RemoteDBMSError:
+            return None
+        survivors: list[tuple[FederatedPart, Relation]] = []
+        lost: list[str] = []
+        for part in parts:
+            try:
+                relation = self.links[part.backend].fetch(part.sub)
+            except RemoteDBMSError:
+                lost.append(part.backend)
+                self.tracer.event(
+                    "federation.part_lost",
+                    view=part.sub.name,
+                    backend=part.backend,
+                )
+                continue
+            survivors.append((part, self._labeled(part, relation)))
+        if not survivors:
+            return None
+        return self._gather(psj, survivors, partial=bool(lost))
+
+    def _charge_local(self, tuples: int) -> None:
+        """Workstation-side gather work (joins, extraction re-reads)."""
+        if tuples:
+            self.metrics.incr(CACHE_TUPLES_PROCESSED, tuples)
+            self.clock.charge("local", self.local_profile.cache_per_tuple * tuples)

@@ -17,6 +17,7 @@ from repro.qa.generator import (
 )
 from repro.qa.differential import (
     COLUMNAR_VARIANT,
+    FEDERATED_VARIANT,
     VARIANTS,
     CaseReport,
     Divergence,
@@ -50,6 +51,7 @@ __all__ = [
     "encode_rows",
     "fingerprint",
     "COLUMNAR_VARIANT",
+    "FEDERATED_VARIANT",
     "VARIANTS",
     "variants_for",
     "CaseReport",

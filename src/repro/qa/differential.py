@@ -46,6 +46,14 @@ VARIANTS = ("full", "nocache", "loose", "exact-cache", "relation-buffer")
 #: :func:`variants_for` adds it when the engine axis is requested.
 COLUMNAR_VARIANT = "columnar"
 
+#: The federation axis: the full CMS again, but with the case's base
+#: tables spread across several backends (``FuzzCase.backends``) behind a
+#: :class:`~repro.federation.interface.FederatedInterface`.  Cross-backend
+#: joins go through scatter/gather and semijoin ship-bindings; the answers
+#: must still be tuple-set-equal to the single-backend oracle.  Added by
+#: ``braid_fuzz.py --profile federated``.
+FEDERATED_VARIANT = "federated"
+
 
 def variants_for(engine: str) -> tuple[str, ...]:
     """The variant tuple for an ``--engine`` selection.
@@ -180,6 +188,28 @@ def _load_server(case: FuzzCase) -> RemoteDBMS:
     return server
 
 
+def _build_federation(case: FuzzCase):
+    """The case's tables spread over their assigned backends.
+
+    Tables not named in ``case.backends`` (single-backend corpora) land on
+    a default ``s0`` backend, so the variant degenerates to one backend
+    behind the federated plumbing — still a useful smoke of the routing
+    layer.  Backends are deterministic pure-Python engines, healthy: the
+    federation axis tests scatter/gather equivalence, not fault handling.
+    """
+    from repro.federation import BackendSpec, build_federation
+
+    grouped: dict[str, list] = {}
+    for relation in case.build_tables():
+        home = case.backends.get(relation.schema.name, "s0")
+        grouped.setdefault(home, []).append(relation)
+    specs = [
+        BackendSpec(name=name, tables=tuple(grouped[name]))
+        for name in sorted(grouped)
+    ]
+    return build_federation(specs)
+
+
 def build_variant(case: FuzzCase, variant: str):
     """A fresh system of the named variant, loaded with the case's tables.
 
@@ -211,6 +241,15 @@ def build_variant(case: FuzzCase, variant: str):
             _load_server(case),
             capacity_bytes=case.cache_bytes,
             features=CMSFeatures(columnar=True),
+        )
+        cms.planner.audit = True
+        return cms
+    if variant == FEDERATED_VARIANT:
+        # The full CMS over the case's tables scattered across backends.
+        # Healthy links (like every cross-check): the federation axis
+        # tests cross-backend join equivalence, not fault handling.
+        cms = _build_federation(case).cms(
+            capacity_bytes=case.cache_bytes, features=CMSFeatures()
         )
         cms.planner.audit = True
         return cms
@@ -293,7 +332,7 @@ def run_case(case: FuzzCase, variants: tuple[str, ...] = VARIANTS) -> CaseReport
                 )
             try:
                 audit_stream(stream)
-                if name in ("full", "nocache", COLUMNAR_VARIANT):
+                if name in ("full", "nocache", COLUMNAR_VARIANT, FEDERATED_VARIANT):
                     audit_cms(system)
             except InvariantViolation as violation:
                 report.violations.append(f"q{q_index}/{name}: {violation}")

@@ -94,11 +94,21 @@ class CaseConfig:
     cache_bytes_choices: tuple[int, ...] = (800, 3_000, 30_000, 4_000_000)
     #: Probability a case gets a fault schedule (0 = always-healthy link).
     fault_rate: float = 0.0
+    #: Federated backends to spread tables over, as an inclusive range.
+    #: ``(1, 1)`` (the default) keeps cases single-backend and draws
+    #: nothing from the RNG, so pre-federation corpora are bit-identical.
+    backends: tuple[int, int] = (1, 1)
 
     @classmethod
     def faulty(cls) -> "CaseConfig":
         """The PR-1 fault-schedule profile used by the degraded-mode fuzz."""
         return cls(fault_rate=0.6)
+
+    @classmethod
+    def federated(cls) -> "CaseConfig":
+        """The federation profile: tables spread over 2–3 backends, so the
+        federated variant exercises routing and cross-backend joins."""
+        return cls(backends=(2, 3))
 
 
 @dataclass
@@ -124,6 +134,9 @@ class FuzzCase:
     #: population degraded answers are served from).
     fault_onset: int = 0
     cache_bytes: int = 4_000_000
+    #: Table name → backend name; {} = everything on one backend.  Only
+    #: the federated differential variant consumes this.
+    backends: dict = field(default_factory=dict)
 
     # -- serialization ---------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -142,6 +155,7 @@ class FuzzCase:
             fault=dict(data["fault"]) if data.get("fault") else None,
             fault_onset=data.get("fault_onset", 0),
             cache_bytes=data.get("cache_bytes", 4_000_000),
+            backends=dict(data.get("backends") or {}),
         )
 
     def fingerprint(self) -> str:
@@ -255,6 +269,13 @@ class CaseGenerator:
                 "disconnect_rate": round(rng.uniform(0.0, 0.3), 3),
                 "disconnect_after_buffers": rng.randrange(0, 3),
             }
+        backends: dict[str, str] = {}
+        if cfg.backends[1] > 1:
+            # Drawn only under a federated config, so single-backend
+            # profiles keep their exact pre-federation RNG streams.
+            count = rng.randint(*cfg.backends)
+            names = [f"s{k}" for k in range(count)]
+            backends = {table["name"]: rng.choice(names) for table in tables}
         return FuzzCase(
             seed=self.seed,
             index=index,
@@ -266,6 +287,7 @@ class CaseGenerator:
             fault=fault,
             fault_onset=fault_onset,
             cache_bytes=rng.choice(list(cfg.cache_bytes_choices)),
+            backends=backends,
         )
 
     def corpus(self, count: int, start: int = 0) -> list[FuzzCase]:

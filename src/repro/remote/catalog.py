@@ -9,6 +9,7 @@ schema".  The catalog is that information surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import UnknownRelationError
 from repro.relational.relation import Relation
@@ -32,6 +33,19 @@ class Catalog:
     def refresh_statistics(self, relation: Relation) -> None:
         """Recompute statistics after the table's contents changed."""
         self._statistics[relation.schema.name] = RelationStatistics.from_relation(relation)
+
+    def refresh_all(self, lookup: Callable[[str], Relation]) -> None:
+        """Recompute statistics for **every** registered table.
+
+        Statistics are captured at :meth:`register` time; a table whose
+        contents changed since (an engine-side reload, say) keeps serving
+        stale cardinalities to the planner's cost model.  ``lookup``
+        resolves a table name to its *current* contents — the federation
+        bootstrap passes the server's engine so per-backend estimates used
+        by semijoin costing are honest.
+        """
+        for table in self.tables():
+            self.refresh_statistics(lookup(table))
 
     def schema(self, table: str) -> Schema:
         """The schema of ``table``; raises when unknown."""

@@ -223,12 +223,16 @@ class CircuitBreaker:
         metrics: Metrics,
         probe_after: int = 8,
         tracer=None,
+        name: str = "",
     ):
         self.threshold = threshold  # 0 disables the breaker entirely
         self.cooldown = cooldown
         self.probe_after = probe_after
         self._time = time_fn
         self.metrics = metrics
+        #: Backend id in a federation; tags transition events ("" = untagged
+        #: single-backend breaker, keeping pre-federation traces unchanged).
+        self.name = name
         if tracer is None:
             from repro.obs.tracer import Tracer
 
@@ -242,9 +246,10 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         if state != self.state:
-            self.tracer.event(
-                "breaker.transition", before=self.state, after=state
-            )
+            attrs = {"before": self.state, "after": state}
+            if self.name:
+                attrs["backend"] = self.name
+            self.tracer.event("breaker.transition", **attrs)
             self.state = state
             self.state_changes += 1
             self.metrics.incr(REMOTE_BREAKER_STATE_CHANGES)

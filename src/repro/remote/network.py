@@ -40,10 +40,14 @@ class NetworkModel:
     #: Monotone even inside parallel regions (where ``clock.now`` is
     #: frozen), so clients can meter per-request timeouts against it.
     charged_seconds: float = 0.0
+    #: Clock track this link charges to.  A federated backend uses
+    #: ``remote.<name>`` so the per-backend share of remote time (half-open
+    #: probes included) is attributable inside parallel regions.
+    track: str = REMOTE_TRACK
 
     def _charge(self, seconds: float) -> None:
         self.charged_seconds += seconds
-        self.clock.charge(REMOTE_TRACK, seconds)
+        self.clock.charge(self.track, seconds)
 
     def charge_request(self) -> None:
         """One round trip: pay latency, count the request."""

@@ -28,8 +28,8 @@ from repro.relational.statistics import RelationStatistics
 from repro.remote.catalog import Catalog
 from repro.remote.engine import EngineResult, PurePythonEngine
 from repro.remote.faults import FaultInjector, FaultPolicy
-from repro.remote.network import NetworkModel
-from repro.remote.sql import DMLRequest, SelectQuery
+from repro.remote.network import REMOTE_TRACK, NetworkModel
+from repro.remote.sql import DMLRequest, FetchTableQuery, SelectQuery
 
 
 class Engine(Protocol):
@@ -109,6 +109,7 @@ class RemoteDBMS:
         supports_pipelining: bool = True,
         faults: FaultPolicy | None = None,
         tracer=None,
+        name: str = "",
     ):
         self.engine: Engine = engine if engine is not None else PurePythonEngine()
         self.clock = clock if clock is not None else SimClock()
@@ -117,7 +118,13 @@ class RemoteDBMS:
         #: Shared trace sink; the whole bridge adopts the server's tracer so
         #: remote round trips nest inside the spans of whoever called them.
         self.tracer = tracer if tracer is not None else Tracer.disabled()
-        self.network = NetworkModel(self.clock, self.profile, self.metrics)
+        #: Backend identity in a federation ("" for a lone server).  A named
+        #: server charges the ``remote.<name>`` clock track so per-backend
+        #: time is attributable inside parallel regions, and its breaker
+        #: transitions carry the backend tag.
+        self.name = name
+        track = f"{REMOTE_TRACK}.{name}" if name else REMOTE_TRACK
+        self.network = NetworkModel(self.clock, self.profile, self.metrics, track=track)
         self.catalog = Catalog()
         self.supports_pipelining = supports_pipelining
         self.fault_injector: FaultInjector | None = None
@@ -168,6 +175,18 @@ class RemoteDBMS:
         """Install a base table (bulk load; not part of measured work)."""
         self.engine.create_table(relation)
         self.catalog.register(relation)
+
+    def refresh_statistics(self) -> None:
+        """Recompute catalog statistics from current engine contents.
+
+        DBA maintenance work — no network charges, no faults.  Catalog
+        statistics are otherwise frozen at :meth:`load_table` time, so an
+        engine-side reload (``engine.create_table`` called directly) leaves
+        the planner costing against stale cardinalities until this runs.
+        """
+        self.catalog.refresh_all(
+            lambda table: self.engine.execute(FetchTableQuery(table)).relation
+        )
 
     # -- metadata requests ------------------------------------------------------------
     def schema_of(self, table: str) -> Schema:
