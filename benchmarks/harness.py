@@ -21,6 +21,10 @@ from repro.caql.ast import CAQLQuery
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
 
+#: ``BENCH_summary.json`` schema: 1 = bare ``{"experiments": ...}``,
+#: 2 adds this version field (and E20's telemetry artifacts exist).
+SCHEMA_VERSION = 2
+
 
 def run_queries(bridge, queries: list[CAQLQuery], advice=None) -> dict[str, float]:
     """Run a query session against a bridge; returns the cost summary."""
@@ -65,7 +69,12 @@ def _fmt(value) -> str:
 
 
 def record(
-    experiment: str, title: str, table: str, notes: str = "", data: dict | None = None
+    experiment: str,
+    title: str,
+    table: str,
+    notes: str = "",
+    data: dict | None = None,
+    telemetry=None,
 ) -> None:
     """Persist an experiment's table and print it (visible with -s).
 
@@ -74,6 +83,11 @@ def record(
     across same-seed runs) to ``results/<experiment>.json`` and rolled up
     into ``results/BENCH_summary.json`` so CI and scripts can consume
     every experiment without parsing the fixed-width tables.
+
+    ``telemetry`` is an attached :class:`repro.obs.MetricsSampler` (or its
+    JSONL text); when given, the series lands canonically at
+    ``results/<experiment>.telemetry.jsonl`` — byte-identical across
+    same-seed runs, like the trace artifacts.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     body = f"{experiment}: {title}\n\n{table}\n"
@@ -84,6 +98,9 @@ def record(
         document = {"experiment": experiment, "title": title, "results": data}
         (RESULTS_DIR / f"{experiment}.json").write_text(_canonical(document) + "\n")
         _update_summary()
+    if telemetry is not None:
+        series = telemetry if isinstance(telemetry, str) else telemetry.to_jsonl()
+        (RESULTS_DIR / f"{experiment}.telemetry.jsonl").write_text(series)
     print(f"\n{body}")
 
 
@@ -99,7 +116,10 @@ def _update_summary() -> None:
             experiments[path.stem] = json.loads(path.read_text())
         except json.JSONDecodeError:
             continue  # a half-written or foreign file must not sink the rollup
-    SUMMARY_PATH.write_text(_canonical({"experiments": experiments}) + "\n")
+    SUMMARY_PATH.write_text(
+        _canonical({"experiments": experiments, "schema_version": SCHEMA_VERSION})
+        + "\n"
+    )
 
 
 def record_trace(experiment: str, trace_jsonl: str) -> pathlib.Path:

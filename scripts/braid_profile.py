@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Profile a BrAID span trace: where did each query's simulated time go?
+
+Feeds a ``*.trace.jsonl`` artifact (what :meth:`repro.obs.Tracer.to_jsonl`
+exports) through the trace-driven critical-path profiler
+(:mod:`repro.obs.profile`), which attributes every span's self-time to a
+phase — plan, cache, remote, retry, gather, compute — and reports phase
+totals, per-query breakdowns, and the hottest remote views, base tables,
+and cache elements.  Phase self-times telescope, so a query's phases sum
+exactly to its span duration.
+
+Usage::
+
+    PYTHONPATH=src python scripts/braid_profile.py benchmarks/results/E19.trace.jsonl
+    PYTHONPATH=src python scripts/braid_profile.py --json trace.jsonl
+    PYTHONPATH=src python scripts/braid_profile.py --top 5 trace.jsonl
+    PYTHONPATH=src python scripts/braid_profile.py --demo
+
+``--demo`` builds a tiny traced session in process and profiles it — a
+smoke test from tracer hooks through attribution to rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.profile import profile_trace  # noqa: E402
+
+
+def demo_trace() -> str:
+    """A small traced session (one remote miss, one cache hit)."""
+    from repro.braid import BraidConfig, BraidSystem
+    from repro.workloads.genealogy import genealogy
+
+    system = BraidSystem.from_workload(
+        genealogy(seed=23), BraidConfig(tracing=True)
+    )
+    system.ask_all("grandparent(G, p8)")
+    system.ask_all("grandparent(G, p8)")
+    return system.trace_jsonl()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Attribute a BrAID trace's simulated time to phases."
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="path to a .trace.jsonl file (omit with --demo)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile as canonical JSON instead of text",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many hot views/tables/elements to list (default 10)",
+    )
+    parser.add_argument(
+        "--no-queries",
+        action="store_true",
+        help="omit the per-query phase breakdowns",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="profile an in-process demo trace",
+    )
+    options = parser.parse_args(argv)
+
+    if options.demo:
+        text = demo_trace()
+    elif options.trace:
+        try:
+            with open(options.trace, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"cannot read {options.trace}: {error}", file=sys.stderr)
+            return 2
+    else:
+        parser.error("a trace path (or --demo) is required")
+        return 2  # unreachable; parser.error exits
+
+    try:
+        profile = profile_trace(text)
+    except ValueError as error:
+        print(f"cannot profile {options.trace or '--demo'}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if options.json:
+            print(profile.to_json())
+        else:
+            print(
+                profile.render(
+                    top=options.top, per_query=not options.no_queries
+                )
+            )
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

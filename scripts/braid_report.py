@@ -11,6 +11,7 @@ Usage::
 
     python scripts/braid_report.py benchmarks/results/E16.trace.jsonl
     python scripts/braid_report.py --events trace.jsonl   # span events too
+    python scripts/braid_report.py --metrics results/E20.telemetry.jsonl
     PYTHONPATH=src python scripts/braid_report.py --demo  # self-contained demo
 
 ``--demo`` builds a tiny traced session in process (this *does* import
@@ -76,10 +77,21 @@ def _format_event(event: dict) -> str:
 def render_tree(
     spans: list[dict], orphans: list[dict], show_events: bool = False
 ) -> list[str]:
-    """The span forest as indented lines (opening order, children nested)."""
+    """The span forest as indented lines (opening order, children nested).
+
+    A span is a root when its parent is null *or* absent from the trace —
+    a truncated or filtered trace must still render every span it holds
+    rather than silently dropping orphaned subtrees.
+    """
     children: dict[object, list[dict]] = defaultdict(list)
+    span_ids = {span["span"] for span in spans}
+    roots: list[dict] = []
     for span in spans:
-        children[span.get("parent")].append(span)
+        parent = span.get("parent")
+        if parent is None or parent not in span_ids:
+            roots.append(span)
+        else:
+            children[parent].append(span)
 
     lines: list[str] = []
 
@@ -92,7 +104,7 @@ def render_tree(
         for child in children.get(span["span"], []):
             emit(child, depth + 1)
 
-    for root in children.get(None, []):
+    for root in roots:
         emit(root, 0)
     if orphans and show_events:
         lines.append("orphan events:")
@@ -149,6 +161,70 @@ def report(text: str, show_events: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_metrics(text: str) -> str:
+    """Render a telemetry series (``*.telemetry.jsonl``) as readable text.
+
+    The input is what :meth:`repro.obs.MetricsSampler.to_jsonl` exports —
+    a header line followed by one sample record per line.  Parsing is
+    stdlib-only, like the trace renderer.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return "(empty telemetry series)"
+    try:
+        header = json.loads(lines[0])
+        samples = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"not a telemetry series: {error}")
+    if header.get("series") != "telemetry":
+        raise SystemExit("not a telemetry series: missing header line")
+
+    out = [
+        f"telemetry: interval={header.get('interval')}s "
+        f"scope={header.get('scope') or '<root>'} "
+        f"version={header.get('version')} samples={len(samples)}"
+    ]
+    for sample in samples:
+        label = f" [{sample['label']}]" if sample.get("label") else ""
+        out.append(
+            f"\nsample {sample.get('sample')} "
+            f"@t={sample.get('t', 0.0):.6f}{label}"
+        )
+        deltas = sample.get("deltas", {})
+        for name in sorted(deltas):
+            out.append(f"  +{deltas[name]:<10g} {name}")
+        gauges = sample.get("gauges", {})
+        for name in sorted(gauges):
+            out.append(f"  ={gauges[name]:<10g} {name}")
+        scopes = sample.get("scopes", {})
+        for scope in sorted(scopes):
+            block = scopes[scope]
+            parts = [
+                f"{name}+{value:g}"
+                for name, value in sorted(block.get("deltas", {}).items())
+            ]
+            parts.extend(
+                f"{name}={value:g}"
+                for name, value in sorted(block.get("gauges", {}).items())
+            )
+            if parts:
+                out.append(f"  scope {scope}: " + " ".join(parts))
+    if samples:
+        histograms = samples[-1].get("histograms", {})
+        if histograms:
+            out.append("\nhistograms (cumulative at last sample):")
+            width = max(len(name) for name in histograms)
+            for name in sorted(histograms):
+                summary = histograms[name]
+                out.append(
+                    f"  {name.ljust(width)}  count={summary.get('count', 0):<6g}"
+                    f" p50={summary.get('p50', 0.0):.6f}"
+                    f" p99={summary.get('p99', 0.0):.6f}"
+                    f" max={summary.get('max', 0.0):.6f}"
+                )
+    return "\n".join(out)
+
+
 def demo_trace() -> str:
     """Build a small traced session in process; returns its JSONL trace.
 
@@ -186,7 +262,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="build and render an in-process demo trace (imports repro)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="render a telemetry series (*.telemetry.jsonl) instead of a trace",
+    )
     options = parser.parse_args(argv)
+
+    if options.metrics:
+        try:
+            with open(options.metrics, encoding="utf-8") as handle:
+                series = handle.read()
+        except OSError as error:
+            print(f"cannot read {options.metrics}: {error}", file=sys.stderr)
+            return 2
+        print(f"telemetry: {options.metrics}")
+        try:
+            print(render_metrics(series))
+        except BrokenPipeError:
+            sys.stderr.close()
+        return 0
 
     if options.demo:
         text = demo_trace()

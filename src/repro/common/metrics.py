@@ -66,6 +66,21 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Observations keep arrival order (self's first, then other's), so
+        merging the same histograms in the same order is deterministic.
+        ``other`` is not modified.
+        """
+        self.values.extend(other.values)
+
+    def copy(self) -> "Histogram":
+        """An independent copy (mutating it never touches the original)."""
+        fresh = Histogram()
+        fresh.values = list(self.values)
+        return fresh
+
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, total={self.total:.6g})"
 
@@ -331,6 +346,16 @@ SERVER_SCHEDULER_STEPS = "server.scheduler_steps"
 #: High-water gauges (kept with :meth:`Metrics.gauge_max`).
 SERVER_QUEUE_DEPTH_HIGH_WATER = "server.queue_depth_high_water"
 SERVER_SESSION_INFLIGHT_HIGH_WATER = "server.session_inflight_high_water"
+#: Simulated derivation seconds cache reuse avoided re-paying (the
+#: efficacy ledger's aggregate; per-element shares in ``Cache.report()``).
+CACHE_SAVED_SECONDS = "cache.saved_seconds"
+#: Sliding-window SLO transitions into breach (see :mod:`repro.obs.slo`).
+SLO_BREACHES = "slo.breaches"
+
+#: Counter names with this suffix are high-water gauges: absolute values,
+#: not accumulating totals.  The telemetry sampler reports them as levels
+#: rather than per-interval deltas.
+GAUGE_SUFFIX = "_high_water"
 
 # Canonical histogram names (recorded with :meth:`Metrics.observe`).
 H_QUERY_SIM_SECONDS = "cms.query_sim_seconds"

@@ -25,6 +25,7 @@ from repro.common.errors import CacheCapacityError, CacheError
 from repro.common.metrics import (
     CACHE_EVICTIONS,
     CACHE_PIN_DEFERRALS,
+    CACHE_SAVED_SECONDS,
     H_EVICTED_ELEMENT_BYTES,
     Metrics,
 )
@@ -57,6 +58,18 @@ class CacheElement:
     condemned: bool = False
     #: Advice predicted no further use: first in line for eviction.
     expendable: bool = False
+    # -- efficacy ledger (per-element lifetime accounting) ---------------
+    #: Simulated time this element was stored / last touched at.
+    created_at: float = 0.0
+    last_used_at: float = 0.0
+    #: Simulated seconds it cost to derive this element (remote fetches,
+    #: local derivation) — the price a reuse avoids re-paying.
+    derivation_seconds: float = 0.0
+    #: Accumulated derivation seconds reuse has saved so far.
+    saved_seconds: float = 0.0
+    #: What the advice predicted at store time: True = reuse expected,
+    #: False = expendable (no reuse expected), None = advice was silent.
+    advice_expected_reuse: bool | None = None
     _indexes: IndexSet | None = field(default=None, repr=False)
     _sorted_views: dict | None = field(default=None, repr=False)
 
@@ -158,11 +171,15 @@ class Cache:
         capacity_bytes: int = 4_000_000,
         metrics: Metrics | None = None,
         tracer=None,
+        clock=None,
     ):
         if capacity_bytes <= 0:
             raise CacheError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self.metrics = metrics
+        #: Optional SimClock: stamps the efficacy ledger's created/last-used
+        #: times and ages.  Without one, all timestamps stay 0.0.
+        self.clock = clock
         if tracer is None:
             from repro.obs.tracer import Tracer
 
@@ -172,7 +189,12 @@ class Cache:
         #: Discarded-while-pinned elements: logically gone (no lookups),
         #: physically resident until the last pin is released.
         self._condemned: dict[str, CacheElement] = {}
-        self._by_predicate: dict[str, set[str]] = {}
+        #: Predicate index, element ids in insertion order.  An inner dict
+        #: (not a set) so iteration order is element-creation order — a set
+        #: here iterates in string-hash order, which is randomized per
+        #: process and leaks into planner tie-breaks among equal
+        #: subsumption matches (same seed, different bytes across runs).
+        self._by_predicate: dict[str, dict[str, None]] = {}
         self._by_key: dict[tuple, str] = {}
         self._clock = itertools.count(1)
         self._ids = itertools.count(1)
@@ -192,13 +214,16 @@ class Cache:
         definition: PSJQuery,
         relation: Relation | GeneratorRelation,
         use: str | None = None,
+        derivation_seconds: float = 0.0,
     ) -> CacheElement:
         """Insert a new element (evicting as needed); returns it.
 
         If an element with a structurally identical definition exists, it
         is reused (Section 5.2: "the CMS is able to use a single instance
         of the relation in the cache ... to represent more than one of
-        these uses").
+        these uses").  ``derivation_seconds`` seeds the efficacy ledger of
+        a *newly created* element only — an existing element keeps the
+        cost it was actually derived at.
         """
         key = definition.canonical_key()
         existing_id = self._by_key.get(key)
@@ -210,20 +235,24 @@ class Cache:
             return element
 
         self.epoch += 1
+        now = self.clock.now if self.clock is not None else 0.0
         element = CacheElement(
             element_id=f"E{next(self._ids)}",
             definition=definition,
             relation=relation,
             sequence=next(self._clock),
             epoch=self.epoch,
+            created_at=now,
+            last_used_at=now,
+            derivation_seconds=max(derivation_seconds, 0.0),
         )
         if use:
             element.uses.add(use)
         self._make_room(element.estimated_bytes(), exempt={element.element_id})
         self._elements[element.element_id] = element
         self._by_key[key] = element.element_id
-        for pred in set(definition.predicates()):
-            self._by_predicate.setdefault(pred, set()).add(element.element_id)
+        for pred in dict.fromkeys(definition.predicates()):
+            self._by_predicate.setdefault(pred, {})[element.element_id] = None
         return element
 
     def discard(self, element_id: str) -> None:
@@ -239,10 +268,10 @@ class Cache:
             return
         self.epoch += 1
         self._by_key.pop(element.definition.canonical_key(), None)
-        for pred in set(element.definition.predicates()):
+        for pred in dict.fromkeys(element.definition.predicates()):
             members = self._by_predicate.get(pred)
             if members is not None:
-                members.discard(element_id)
+                members.pop(element_id, None)
                 if not members:
                     del self._by_predicate[pred]
         if element.pin_count > 0:
@@ -316,6 +345,23 @@ class Cache:
         """Record a use: bumps the LRU clock and the use count."""
         element.sequence = next(self._clock)
         element.use_count += 1
+        if self.clock is not None:
+            element.last_used_at = self.clock.now
+
+    def credit_saving(self, element: CacheElement, seconds: float | None = None) -> None:
+        """Credit the efficacy ledger: serving from ``element`` avoided
+        re-paying (by default) its recorded derivation cost.
+
+        Pure bookkeeping — no simulated time is charged, no trace event is
+        emitted; the aggregate lands in
+        :data:`~repro.common.metrics.CACHE_SAVED_SECONDS`.
+        """
+        saved = element.derivation_seconds if seconds is None else seconds
+        if saved <= 0:
+            return
+        element.saved_seconds += saved
+        if self.metrics is not None:
+            self.metrics.incr(CACHE_SAVED_SECONDS, saved)
 
     def get(self, element_id: str) -> CacheElement | None:
         """The element with this id, or None."""
@@ -331,7 +377,9 @@ class Cache:
 
     def elements_for_predicate(self, pred: str) -> list[CacheElement]:
         """Step-1 candidate filter: elements whose definition mentions
-        ``pred`` (the paper's ``(predicate name, cache element)`` index)."""
+        ``pred`` (the paper's ``(predicate name, cache element)`` index),
+        in element-creation order (deterministic: planner tie-breaks among
+        equal subsumption matches depend on it)."""
         ids = self._by_predicate.get(pred, ())
         return [self._elements[i] for i in ids]
 
@@ -356,6 +404,65 @@ class Cache:
     def condemned_elements(self) -> list[CacheElement]:
         """Elements awaiting reclamation (discarded while pinned)."""
         return list(self._condemned.values())
+
+    # -- efficacy ledger -----------------------------------------------------------
+    def element_report(self, element: CacheElement) -> dict:
+        """One element's efficacy ledger entry (JSON-friendly)."""
+        now = self.clock.now if self.clock is not None else 0.0
+        expected = element.advice_expected_reuse
+        observed = element.use_count > 0
+        return {
+            "element": element.element_id,
+            "view": element.view_name,
+            "bytes": element.estimated_bytes(),
+            "rows": element.rows_materialized(),
+            "hits": element.use_count,
+            "derivation_seconds": element.derivation_seconds,
+            "saved_seconds": element.saved_seconds,
+            "created_at": element.created_at,
+            "last_used_at": element.last_used_at,
+            "age_seconds": max(now - element.created_at, 0.0),
+            "idle_seconds": max(now - element.last_used_at, 0.0),
+            "advice_expected_reuse": expected,
+            "observed_reuse": observed,
+            "advice_agrees": None if expected is None else expected == observed,
+            "expendable": element.expendable,
+            "pinned": element.pinned,
+        }
+
+    def report(self) -> dict:
+        """The per-element efficacy ledger plus aggregate totals.
+
+        Deterministic: elements are ordered by numeric id.  This is the
+        measurement substrate cost-based replacement (value =
+        recomputation cost x reuse / bytes) and advice mining need — see
+        docs/observability.md.
+        """
+        def element_order(element: CacheElement):
+            element_id = element.element_id
+            try:
+                return (0, int(element_id.lstrip("E")))
+            except ValueError:
+                return (1, 0)
+
+        entries = [
+            self.element_report(element)
+            for element in sorted(self._elements.values(), key=element_order)
+        ]
+        advised = [e for e in entries if e["advice_expected_reuse"] is not None]
+        return {
+            "elements": entries,
+            "totals": {
+                "elements": len(entries),
+                "bytes": sum(e["bytes"] for e in entries),
+                "hits": sum(e["hits"] for e in entries),
+                "derivation_seconds": sum(e["derivation_seconds"] for e in entries),
+                "saved_seconds": sum(e["saved_seconds"] for e in entries),
+                "evictions": self.eviction_count,
+                "advised": len(advised),
+                "advice_correct": sum(1 for e in advised if e["advice_agrees"]),
+            },
+        }
 
     # -- invariants -----------------------------------------------------------------
     def check_invariants(self) -> None:
@@ -393,6 +500,17 @@ class Cache:
             if element.estimated_bytes() < 0:
                 raise InvariantViolation(
                     f"{element_id}: negative size estimate"
+                )
+            if element.derivation_seconds < 0 or element.saved_seconds < 0:
+                raise InvariantViolation(
+                    f"{element_id}: negative efficacy accounting "
+                    f"(derivation={element.derivation_seconds}, "
+                    f"saved={element.saved_seconds})"
+                )
+            if element.last_used_at < element.created_at:
+                raise InvariantViolation(
+                    f"{element_id}: last used at {element.last_used_at} "
+                    f"before created at {element.created_at}"
                 )
             key = element.definition.canonical_key()
             live_keys.add(key)

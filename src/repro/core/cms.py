@@ -155,7 +155,12 @@ class CacheManagementSystem:
         self.cache = (
             cache
             if cache is not None
-            else Cache(capacity_bytes, metrics=self.metrics, tracer=self.tracer)
+            else Cache(
+                capacity_bytes,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                clock=self.clock,
+            )
         )
         self.shares_cache = cache is not None
         self.advice_manager = AdviceManager()
@@ -442,6 +447,7 @@ class CacheManagementSystem:
 
         logger.debug("plan[%s] for %s%s", plan.strategy, psj.name,
                      " (lazy)" if plan.lazy else "")
+        derivation_started = self.clock.now
         try:
             try:
                 result = self.monitor.execute(plan)
@@ -477,14 +483,23 @@ class CacheManagementSystem:
             try:
                 # The cache stores extensions/generators; a columnar batch
                 # is materialized for storage while the batch itself still
-                # flows to the result stream.
-                element = self.cache.store(psj, self._cacheable(result))
+                # flows to the result stream.  The efficacy ledger records
+                # what deriving this answer actually cost in simulated
+                # time — the price a future reuse avoids re-paying.
+                element = self.cache.store(
+                    psj,
+                    self._cacheable(result),
+                    derivation_seconds=self.clock.now - derivation_started,
+                )
             except CacheCapacityError:
                 return result
             if plan.expendable and element.use_count == 0:
                 element.expendable = True
+                element.advice_expected_reuse = False
             elif element.use_count > 0:
                 element.expendable = False  # reuse proved the advice wrong
+            elif self.advice_manager.view(psj.name) is not None:
+                element.advice_expected_reuse = True
             self._build_indexes(element, plan.index_positions)
         return result
 
@@ -551,8 +566,11 @@ class CacheManagementSystem:
         """Fetch a PSJ query remotely and install it as a cache element."""
         if self.cache.lookup_exact(psj) is not None:
             return
+        fetch_started = self.clock.now
         relation = self.rdi.fetch(psj)
-        element = self.cache.store(psj, relation)
+        element = self.cache.store(
+            psj, relation, derivation_seconds=self.clock.now - fetch_started
+        )
         if view_name is not None and self.features.indexing:
             positions = self.advice_manager.index_positions(view_name)
             self._build_indexes(element, positions)
@@ -595,13 +613,19 @@ class CacheManagementSystem:
         if not wanted:
             return
         if self.features.batching and len(wanted) > 1:
+            batch_started = self.clock.now
             try:
                 relations = self.rdi.fetch_many([general for _name, general in wanted])
             except RemoteDBMSError:
                 return  # prefetching must never fail the query it rode on
+            # The batched round trip's cost is shared: each element's
+            # ledger carries an equal share of the derivation time.
+            per_element = (self.clock.now - batch_started) / len(wanted)
             for (companion, general), relation in zip(wanted, relations):
                 try:
-                    element = self.cache.store(general, relation)
+                    element = self.cache.store(
+                        general, relation, derivation_seconds=per_element
+                    )
                 except CacheCapacityError:
                     continue
                 if self.features.indexing:

@@ -284,6 +284,7 @@ class ExecutionMonitor:
         if element is None:
             raise StalePlanError("exact plan but the element vanished")
         self.cache.touch(element)
+        self.cache.credit_saving(element)
         self._charge_local(element.rows_materialized())
         self._pin_for_stream(element, element.relation)
         return element.relation
@@ -293,6 +294,7 @@ class ExecutionMonitor:
         if match is None:
             raise PlanningError("cache-full plan without a match")
         self.cache.touch(match.element)
+        self.cache.credit_saving(match.element)
         if plan.lazy:
             gen = derive_full_lazy(match, plan.query)
             gen.on_produce = self._on_lazy_tuple
@@ -374,6 +376,7 @@ class ExecutionMonitor:
         def run_cache() -> None:
             for part in cache_parts:
                 self.cache.touch(part.match.element)
+                self.cache.credit_saving(part.match.element)
                 source_rows = part.match.element.rows_materialized()
                 relation = self._cache_part_relation(part)
                 self._charge_local(source_rows + len(relation))
@@ -475,10 +478,12 @@ class ExecutionMonitor:
         """Answer ``query`` from a (possibly stale) full subsumption match.
 
         Used when retries are exhausted: the element typically lives in
-        the stale archive rather than the cache proper, so only local
-        derivation cost is charged — no cache bookkeeping applies.
+        the stale archive rather than the cache proper, so no LRU
+        bookkeeping applies — but the hit still saved a remote fetch, so
+        the efficacy ledger is credited.
         """
         result = derive_full(match, query)
+        self.cache.credit_saving(match.element)
         self._charge_local(match.element.rows_materialized() + len(result))
         self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
         return result
@@ -498,6 +503,7 @@ class ExecutionMonitor:
         produced: list[Relation] = []
         for part in cache_parts:
             self.cache.touch(part.match.element)
+            self.cache.credit_saving(part.match.element)
             source_rows = part.match.element.rows_materialized()
             relation = self._cache_part_relation(part)
             self._charge_local(source_rows + len(relation))

@@ -52,6 +52,9 @@ class PlanExplanation:
     candidates: tuple[CandidateReport, ...]
     #: Cache epoch the plan was computed against.
     epoch: int
+    #: Efficacy ledger rows (:meth:`~repro.core.cache.Cache.element_report`)
+    #: for every cache element the plan would read, in plan-part order.
+    element_efficacy: tuple[dict, ...] = ()
 
     @property
     def served_from_cache(self) -> bool:
@@ -72,6 +75,7 @@ class PlanExplanation:
             "estimated_local_cost": self.estimated_local_cost,
             "estimated_remote_cost": self.estimated_remote_cost,
             "epoch": self.epoch,
+            "element_efficacy": [dict(row) for row in self.element_efficacy],
             "candidates": [
                 {
                     "element": report.element_id,
@@ -96,6 +100,13 @@ class PlanExplanation:
             out.append(f"  prefetch {prefetch}")
         for note in self.notes:
             out.append(f"  note: {note}")
+        for row in self.element_efficacy:
+            out.append(
+                f"  efficacy {row['element']} ({row['view']}): "
+                f"hits={row['hits']} saved={row['saved_seconds']:.3f}s "
+                f"derivation={row['derivation_seconds']:.3f}s "
+                f"age={row['age_seconds']:.3f}s"
+            )
         if not self.candidates:
             out.append("  subsumption: no candidate cache elements")
         for report in self.candidates:
@@ -148,6 +159,22 @@ def explain_query(cms, q: CAQLQuery) -> PlanExplanation:
     )
     if plan.full_match is not None:
         parts = (f"cache:{plan.full_match.element.element_id}",) + parts
+
+    plan_elements = list(plan.cache_elements())
+    if plan.strategy == "exact" and not plan_elements:
+        # An exact plan carries no match (the executor re-probes); resolve
+        # the element the same way it will.
+        exact = cms.cache.lookup_exact(psj)
+        if exact is not None:
+            plan_elements.append(exact)
+    seen_ids: set[str] = set()
+    efficacy = []
+    for element in plan_elements:
+        if element.element_id in seen_ids:
+            continue
+        seen_ids.add(element.element_id)
+        efficacy.append(cms.cache.element_report(element))
+
     return PlanExplanation(
         query_name=psj.name,
         strategy=plan.strategy,
@@ -161,4 +188,5 @@ def explain_query(cms, q: CAQLQuery) -> PlanExplanation:
         estimated_remote_cost=plan.estimated_remote_cost,
         candidates=candidates,
         epoch=plan.epoch,
+        element_efficacy=tuple(efficacy),
     )

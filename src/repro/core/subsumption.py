@@ -262,7 +262,10 @@ def find_relevant(cache: Cache, query: PSJQuery) -> list[SubsumptionMatch]:
     query_preds = set(query.predicates())
     seen: set[str] = set()
     matches: list[SubsumptionMatch] = []
-    for pred in query_preds:
+    # Walk predicates in query order, not set order: the sort below is
+    # stable, so ties between matches keep visit order, and visit order
+    # must not depend on per-process string hashing.
+    for pred in dict.fromkeys(query.predicates()):
         for element in cache.elements_for_predicate(pred):
             if element.element_id in seen:
                 continue

@@ -80,6 +80,11 @@ class Federation:
         self.profile = profile
         self._buffer_size = buffer_size
 
+    @property
+    def slo(self):
+        """The interface's per-backend SLO monitor (None when unset)."""
+        return self.interface.slo
+
     # -- backends ---------------------------------------------------------------
     def backends(self) -> list[str]:
         """All backend names, sorted."""
@@ -153,8 +158,14 @@ def build_federation(
     tracer=None,
     profile: CostProfile | None = None,
     buffer_size: int = 64,
+    slo_policy=None,
 ) -> Federation:
-    """Wire up servers, catalog, and interface from backend specs."""
+    """Wire up servers, catalog, and interface from backend specs.
+
+    ``slo_policy`` (an :class:`~repro.obs.slo.SLOPolicy`) attaches a
+    per-backend latency SLO monitor to the interface: every backend round
+    trip's simulated latency feeds a sliding window keyed by backend name.
+    """
     if not specs:
         raise ValueError("a federation needs at least one backend spec")
     clock = clock if clock is not None else SimClock()
@@ -189,6 +200,11 @@ def build_federation(
         catalog.register(spec.name, server)
         if spec.retry is not None:
             retries[spec.name] = spec.retry
+    slo = None
+    if slo_policy is not None:
+        from repro.obs.slo import SLOMonitor
+
+        slo = SLOMonitor(slo_policy, clock, metrics, tracer)
     interface = FederatedInterface(
         catalog,
         buffer_size=buffer_size,
@@ -196,6 +212,7 @@ def build_federation(
         metrics=metrics,
         tracer=tracer,
         local_profile=profile,
+        slo=slo,
     )
     return Federation(
         catalog, interface, clock, metrics, tracer, profile, buffer_size

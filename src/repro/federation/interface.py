@@ -111,6 +111,7 @@ class FederatedInterface:
         tracer=None,
         local_profile: CostProfile | None = None,
         semijoin: bool = True,
+        slo=None,
     ):
         backends = catalog.backends()
         if not backends:
@@ -133,6 +134,11 @@ class FederatedInterface:
         #: never short-circuits — the "naive per-backend loose coupling"
         #: baseline E19 compares against.
         self.semijoin = semijoin
+        #: Optional per-backend latency SLO monitor
+        #: (:class:`~repro.obs.slo.SLOMonitor`); observed latencies are
+        #: simulated-clock deltas around each backend round trip, so a
+        #: fetch issued inside a frozen ``parallel()`` region observes 0.
+        self.slo = slo
         retries = retries or {}
         #: One resilient link per backend: its own retry budget, its own
         #: breaker (tagged with the backend name in traces).
@@ -203,6 +209,12 @@ class FederatedInterface:
             )
         return parts
 
+    def _observe_backend(self, backend: str, started: float) -> None:
+        """Feed one backend round trip's simulated latency to the SLO
+        monitor (a no-op without one; never advances the clock)."""
+        if self.slo is not None:
+            self.slo.observe(backend, self.clock.now - started)
+
     # -- contract: execution ----------------------------------------------------
     def fetch(
         self,
@@ -220,7 +232,10 @@ class FederatedInterface:
                 backend=part.backend,
                 tables=sorted({o.pred for o in psj.occurrences}),
             )
-            return self.links[part.backend].fetch(psj, bindings=bindings)
+            started = self.clock.now
+            relation = self.links[part.backend].fetch(psj, bindings=bindings)
+            self._observe_backend(part.backend, started)
+            return relation
         return self._scatter_gather(psj, parts, bindings)
 
     def fetch_many(self, psjs: list[PSJQuery]) -> list[Relation]:
@@ -248,7 +263,9 @@ class FederatedInterface:
                     backend=backend,
                     tables=sorted({o.pred for o in psjs[index].occurrences}),
                 )
+            started = self.clock.now
             batch = self.links[backend].fetch_many([psjs[i] for i in indexes])
+            self._observe_backend(backend, started)
             for index, relation in zip(indexes, batch):
                 results[index] = relation
         for index in spanning:
@@ -263,7 +280,10 @@ class FederatedInterface:
         self.tracer.event(
             "rdi.route", view=table, backend=backend, tables=[table]
         )
-        return self.links[backend].fetch_base_relation(table)
+        started = self.clock.now
+        relation = self.links[backend].fetch_base_relation(table)
+        self._observe_backend(backend, started)
+        return relation
 
     # -- scatter-gather ---------------------------------------------------------
     def _scatter_gather(
@@ -309,9 +329,11 @@ class FederatedInterface:
                 empty = True
                 fetched.append((part, self._empty_part(part)))
                 continue
+            started = self.clock.now
             relation = self.links[part.backend].fetch(
                 part.sub, bindings=part_bindings or None
             )
+            self._observe_backend(part.backend, started)
             labeled = self._labeled(part, relation)
             if self.semijoin and not len(labeled):
                 empty = True
@@ -508,8 +530,10 @@ class FederatedInterface:
         survivors: list[tuple[FederatedPart, Relation]] = []
         lost: list[str] = []
         for part in parts:
+            started = self.clock.now
             try:
                 relation = self.links[part.backend].fetch(part.sub)
+                self._observe_backend(part.backend, started)
             except RemoteDBMSError:
                 lost.append(part.backend)
                 self.tracer.event(

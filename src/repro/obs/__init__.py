@@ -5,6 +5,14 @@
   opt-out every component defaults to.
 * :mod:`repro.obs.export` — canonical JSONL, Chrome trace-event format,
   and SHA-256 trace fingerprints (same seed → same bytes).
+* :mod:`repro.obs.telemetry` — fixed-cadence time-series sampling of the
+  metrics ledger (counter deltas, gauges, histogram percentiles).
+* :mod:`repro.obs.profile` — trace-driven critical-path profiler
+  attributing each query's simulated time to phases.
+* :mod:`repro.obs.slo` — sliding-window p50/p99 SLO monitors with
+  edge-triggered breach events.
+* :mod:`repro.obs.regress` — the benchmark regression gate comparing a
+  fresh ``BENCH_summary.json`` against a committed baseline.
 """
 
 from repro.obs.export import (
@@ -14,14 +22,36 @@ from repro.obs.export import (
     write_chrome,
     write_jsonl,
 )
+from repro.obs.profile import PHASES, QueryProfile, TraceProfile, profile_trace
+from repro.obs.regress import RegressionReport, compare, make_baseline
+from repro.obs.slo import SLOMonitor, SLOPolicy
+from repro.obs.telemetry import (
+    MetricsSampler,
+    TelemetrySample,
+    dump_series,
+    load_series,
+)
 from repro.obs.tracer import Span, SpanEvent, Tracer
 
 __all__ = [
+    "MetricsSampler",
+    "PHASES",
+    "QueryProfile",
+    "RegressionReport",
+    "SLOMonitor",
+    "SLOPolicy",
     "Span",
     "SpanEvent",
+    "TelemetrySample",
+    "TraceProfile",
     "Tracer",
     "chrome_trace",
+    "compare",
+    "dump_series",
     "jsonl_trace",
+    "load_series",
+    "make_baseline",
+    "profile_trace",
     "trace_fingerprint",
     "write_chrome",
     "write_jsonl",

@@ -84,6 +84,33 @@ class TestLookup:
         assert len(cache.elements_for_predicate("b2")) == 1
         assert cache.elements_for_predicate("zzz") == []
 
+    def test_elements_for_predicate_in_creation_order(self):
+        # The predicate index must iterate in element-creation order, not
+        # set (string-hash) order: the planner breaks ties among equal
+        # subsumption matches by candidate order, so hash order here means
+        # the same seed produces different plans in different processes.
+        cache = Cache()
+        ids = [
+            store(cache, f"d{i}(X) :- b1(X, c{i})").element_id
+            for i in range(12)
+        ]
+        assert [
+            e.element_id for e in cache.elements_for_predicate("b1")
+        ] == ids
+
+    def test_predicate_order_survives_discard(self):
+        cache = Cache()
+        ids = [
+            store(cache, f"d{i}(X) :- b1(X, c{i})").element_id
+            for i in range(6)
+        ]
+        cache.discard(ids[2])
+        cache.discard(ids[4])
+        survivors = [ids[0], ids[1], ids[3], ids[5]]
+        assert [
+            e.element_id for e in cache.elements_for_predicate("b1")
+        ] == survivors
+
     def test_touch_updates_sequence_and_count(self):
         cache = Cache()
         element = store(cache, "d1(X, Y) :- b1(X, Y)")

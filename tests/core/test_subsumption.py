@@ -225,6 +225,21 @@ class TestFindRelevant:
         matches = find_relevant(cache, query)
         assert matches[0].is_full
 
+    def test_tied_full_matches_keep_creation_order(self):
+        # Several structurally equivalent full matches tie under the sort
+        # key; the stable sort must then keep element-creation order (the
+        # planner derives from the first).  A hash-ordered candidate walk
+        # made this differ between processes for the same seed.
+        cache, elements = cache_with(
+            "wide1(X, Y, Z) :- b3(X, Y, Z)",
+            "wide2(Z, Y, X) :- b3(X, Y, Z)",
+            "wide3(Y, X, Z) :- b3(X, Y, Z)",
+        )
+        query = make_psj("d(X) :- b3(X, c2, c6)")
+        matches = find_relevant(cache, query)
+        full = [m.element.element_id for m in matches if m.is_full]
+        assert full == [e.element_id for e in elements]
+
     def test_unrelated_elements_ignored(self):
         cache, _ = cache_with("other(X, Z) :- b2(X, Z)")
         query = make_psj("q(X, Y, Z) :- b3(X, Y, Z)")

@@ -51,7 +51,7 @@ class TestCacheInvariants:
 
     def test_element_missing_from_predicate_index(self):
         cache, element = stored_cache()
-        cache._by_predicate["r"].discard(element.element_id)
+        cache._by_predicate["r"].pop(element.element_id, None)
         with pytest.raises(InvariantViolation, match="predicate index"):
             cache.check_invariants()
 
@@ -63,13 +63,13 @@ class TestCacheInvariants:
 
     def test_predicate_bucket_referencing_retired_element(self):
         cache, _ = stored_cache()
-        cache._by_predicate["ghost"] = {"e999"}
+        cache._by_predicate["ghost"] = {"e999": None}
         with pytest.raises(InvariantViolation, match="retired"):
             cache.check_invariants()
 
     def test_empty_predicate_bucket(self):
         cache, _ = stored_cache()
-        cache._by_predicate["ghost"] = set()
+        cache._by_predicate["ghost"] = {}
         with pytest.raises(InvariantViolation, match="empty"):
             cache.check_invariants()
 
