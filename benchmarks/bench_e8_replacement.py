@@ -45,6 +45,10 @@ def make_cms(advised: bool) -> CacheManagementSystem:
         capacity_bytes=9_000,  # hot scan (~6.5 kB) + a couple of fillers
         features=CMSFeatures(
             advice_replacement=advised,
+            # Pin the base scorer to plain LRU in both configurations so
+            # the measured delta isolates the paper's claim (advice over
+            # LRU); the cost-based scorer is E21's subject, not E8's.
+            cost_replacement=False,
             prefetch=False,
             generalization=False,
         ),

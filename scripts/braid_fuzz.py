@@ -44,6 +44,7 @@ PROFILES = {
     "healthy": CaseConfig,
     "faulty": CaseConfig.faulty,
     "federated": CaseConfig.federated,
+    "churny": CaseConfig.churny,
 }
 
 
@@ -60,8 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         choices=sorted(PROFILES),
         default="healthy",
-        help="case profile: healthy link, PR-1 fault schedules, or "
-        "multi-backend federation (tables spread over 2-3 backends)",
+        help="case profile: healthy link, PR-1 fault schedules, "
+        "multi-backend federation (tables spread over 2-3 backends), or "
+        "eviction churn (small caches, many queries, intermediates)",
     )
     parser.add_argument(
         "--engine",

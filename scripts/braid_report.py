@@ -225,6 +225,81 @@ def render_metrics(text: str) -> str:
     return "\n".join(out)
 
 
+def render_lineage(text: str) -> str:
+    """Render a cache report (``Cache.report()`` as JSON) as a derivation
+    forest: each element under its first live parent, annotated with kind,
+    operator, rows, hits, and value inputs.
+
+    Accepts either the report dict itself or any JSON object with a
+    ``cache_report`` key (benchmark result files embed it that way).
+    Parsing is stdlib-only, like the other renderers.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"not a cache report: {error}")
+    # Benchmark result files embed the report under "cache_report",
+    # possibly inside a "results"/"data" wrapper — unwrap what we find.
+    if isinstance(payload, dict):
+        for wrapper in ("results", "data"):
+            inner = payload.get(wrapper)
+            if isinstance(inner, dict) and "cache_report" in inner:
+                payload = inner
+                break
+        if "cache_report" in payload:
+            payload = payload["cache_report"]
+    if not isinstance(payload, dict) or "elements" not in payload:
+        raise SystemExit("not a cache report: no 'elements' key")
+
+    entries = payload["elements"]
+    by_id = {entry["element"]: entry for entry in entries}
+    children: dict[str, list[str]] = defaultdict(list)
+    roots: list[str] = []
+    for entry in entries:
+        live_parents = [p for p in entry.get("parents", []) if p in by_id]
+        if live_parents:
+            # Render under the first live parent; extra parents are noted
+            # inline so the DAG (not a tree) stays visible.
+            children[live_parents[0]].append(entry["element"])
+        else:
+            roots.append(entry["element"])
+
+    totals = payload.get("totals", {})
+    lines = [
+        f"cache lineage: elements={totals.get('elements', len(entries))} "
+        f"intermediates={totals.get('intermediates', 0)} "
+        f"max_depth={totals.get('max_depth', 0)} "
+        f"evictions={totals.get('evictions', 0)}"
+    ]
+
+    def describe(entry: dict) -> str:
+        label = f"{entry['element']} ({entry.get('view', '?')})"
+        kind = entry.get("kind", "view")
+        if kind == "intermediate":
+            label += f" [{entry.get('operator') or 'intermediate'}]"
+        label += (
+            f" rows={entry.get('rows', 0)} hits={entry.get('hits', 0)}"
+            f" derivation={entry.get('derivation_seconds', 0.0):.4f}s"
+            f" freq={entry.get('reuse_frequency', 0.0):.2f}"
+        )
+        extra = [p for p in entry.get("parents", []) if p in by_id][1:]
+        if extra:
+            label += f" also-from={','.join(extra)}"
+        stale = [p for p in entry.get("parents", []) if p not in by_id]
+        if stale:
+            label += f" evicted-parents={','.join(stale)}"
+        return label
+
+    def emit(element_id: str, depth: int) -> None:
+        lines.append("  " * depth + "  " + describe(by_id[element_id]))
+        for child in children.get(element_id, []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
 def demo_trace() -> str:
     """Build a small traced session in process; returns its JSONL trace.
 
@@ -267,7 +342,26 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="render a telemetry series (*.telemetry.jsonl) instead of a trace",
     )
+    parser.add_argument(
+        "--lineage",
+        metavar="PATH",
+        help="render a cache report JSON as a derivation-lineage forest",
+    )
     options = parser.parse_args(argv)
+
+    if options.lineage:
+        try:
+            with open(options.lineage, encoding="utf-8") as handle:
+                payload = handle.read()
+        except OSError as error:
+            print(f"cannot read {options.lineage}: {error}", file=sys.stderr)
+            return 2
+        print(f"lineage: {options.lineage}")
+        try:
+            print(render_lineage(payload))
+        except BrokenPipeError:
+            sys.stderr.close()
+        return 0
 
     if options.metrics:
         try:

@@ -333,6 +333,10 @@ CACHE_INDEX_BUILDS = "cache.index_builds"
 CACHE_TUPLES_PROCESSED = "cache.tuples_processed"
 CACHE_PIN_DEFERRALS = "cache.pin_deferrals"
 CACHE_STALE_REPLANS = "cache.stale_replans"
+#: Lookups served from an operator-level intermediate element.
+CACHE_INTERMEDIATE_HITS = "cache.intermediate_hits"
+#: Operator-level intermediates registered at materialization time.
+CACHE_INTERMEDIATE_STORES = "cache.intermediate_stores"
 IE_INFERENCE_STEPS = "ie.inference_steps"
 IE_CAQL_QUERIES = "ie.caql_queries"
 LAZY_TUPLES_PRODUCED = "lazy.tuples_produced"
@@ -343,6 +347,9 @@ SERVER_REQUESTS_ACCEPTED = "server.requests.accepted"
 SERVER_REQUESTS_REJECTED = "server.requests.rejected"
 SERVER_REQUESTS_COMPLETED = "server.requests.completed"
 SERVER_SCHEDULER_STEPS = "server.scheduler_steps"
+#: Remote subplans served from the in-flight MQO registry instead of a
+#: second identical round trip (shared multi-query optimization).
+SERVER_SHARED_SUBPLANS = "server.shared_subplans"
 #: High-water gauges (kept with :meth:`Metrics.gauge_max`).
 SERVER_QUEUE_DEPTH_HIGH_WATER = "server.queue_depth_high_water"
 SERVER_SESSION_INFLIGHT_HIGH_WATER = "server.session_inflight_high_water"

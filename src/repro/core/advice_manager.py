@@ -145,19 +145,29 @@ class AdviceManager:
         return view_name in self._repeating_views
 
     # -- replacement -------------------------------------------------------------------
-    def replacement_scorer(self):
-        """An eviction scorer: LRU modified by path-expression distance.
+    def replacement_scorer(self, base_scorer=None):
+        """An eviction scorer: a base scorer modified by path-expression
+        distance.
 
         Elements whose view the tracker will never request again are
         evicted first; elements needed within a few queries are protected.
-        Falls back to plain LRU without a (live) tracker.
+        Falls back to the plain base without a (live) tracker.
+        ``base_scorer`` defaults to LRU; the CMS passes the cache's
+        cost-based scorer so advice offsets layer on top of value.
         """
         tracker = self.tracker
+        if base_scorer is None:
+            base_scorer = lru_scorer
 
         def scorer(element: CacheElement) -> float:
-            base = lru_scorer(element)
+            base = base_scorer(element)
             if element.expendable:
                 base += 1e9  # advice marked it single-use
+            if element.kind == "intermediate":
+                # Path expressions name whole views; distance is undefined
+                # for an operator-level intermediate, which would otherwise
+                # always look "never needed again" and be dumped first.
+                return base
             if tracker is None or tracker.lost:
                 return base
             distance = tracker.distance_to(element.view_name)

@@ -24,6 +24,8 @@ from typing import Callable
 from repro.common.errors import CacheCapacityError, CacheError
 from repro.common.metrics import (
     CACHE_EVICTIONS,
+    CACHE_INTERMEDIATE_HITS,
+    CACHE_INTERMEDIATE_STORES,
     CACHE_PIN_DEFERRALS,
     CACHE_SAVED_SECONDS,
     H_EVICTED_ELEMENT_BYTES,
@@ -36,6 +38,19 @@ from repro.caql.psj import PSJQuery
 
 #: Scores an element's eviction priority; higher = evict sooner.
 EvictionScorer = Callable[["CacheElement"], float]
+
+#: Half-life, in simulated seconds, of the observed-reuse signal: an
+#: element's hit frequency halves for every such interval it sits idle.
+REUSE_HALF_LIFE = 30.0
+#: Scale of the cost-based value term relative to the LRU sequence.  Large
+#: enough that any nonzero value dominates recency deltas, small enough to
+#: stay below the advice manager's 1e12 path-expression offsets (advice
+#: "needed next" / "never needed" verdicts still override cost).
+VALUE_WEIGHT = 1e9
+#: Fraction of a reuse event credited to each derivation-ancestor level:
+#: a hit on a derived element warms its parents at this share, its
+#: grandparents at the share squared, and so on (see ``touch``).
+ANCESTOR_SHARE = 0.5
 
 
 @dataclass
@@ -70,6 +85,27 @@ class CacheElement:
     #: What the advice predicted at store time: True = reuse expected,
     #: False = expendable (no reuse expected), None = advice was silent.
     advice_expected_reuse: bool | None = None
+    # -- derivation lineage (operator-level intermediates) ----------------
+    #: "view" for advised views / whole query results; "intermediate" for
+    #: operator-level results registered during execution (remote parts,
+    #: select-project subsets, semijoin-reduced fetches, gather parts).
+    kind: str = "view"
+    #: Element ids of the inputs this element was derived from (empty for
+    #: base fetches).  Lineage is advisory metadata: a parent may be
+    #: evicted before its children — the child's stored relation is
+    #: self-contained — but never while a descendant is pinned.
+    parents: tuple[str, ...] = ()
+    #: The operator that produced this element ("remote-fetch",
+    #: "select-project", "semijoin-fetch", "federated-gather", "" = view).
+    operator: str = ""
+    #: Longest parent chain below this element (0 for roots).
+    depth: int = 0
+    #: Exponentially decayed observed hit frequency (the reuse predictor's
+    #: measured half; see ``Cache.cost_scorer``).
+    reuse_frequency: float = 0.0
+    #: Advice half of the reuse predictor: 1.0 neutral, raised when advice
+    #: expects reuse, zeroed for expendable elements.
+    advice_weight: float = 1.0
     _indexes: IndexSet | None = field(default=None, repr=False)
     _sorted_views: dict | None = field(default=None, repr=False)
 
@@ -157,6 +193,11 @@ def lru_scorer(element: CacheElement) -> float:
     return -float(element.sequence)
 
 
+def key_of(definition: PSJQuery) -> tuple:
+    """The canonical identity the cache and the MQO registry share."""
+    return definition.canonical_key()
+
+
 class Cache:
     """Bounded storage of cache elements with pluggable replacement.
 
@@ -196,9 +237,16 @@ class Cache:
         #: subsumption matches (same seed, different bytes across runs).
         self._by_predicate: dict[str, dict[str, None]] = {}
         self._by_key: dict[tuple, str] = {}
+        #: Derivation DAG, parent id -> child ids in insertion order (an
+        #: inner dict, not a set, for the same determinism reason as the
+        #: predicate index).  Only live parent/child pairs are kept.
+        self._children: dict[str, dict[str, None]] = {}
         self._clock = itertools.count(1)
         self._ids = itertools.count(1)
-        self.scorer: EvictionScorer = lru_scorer
+        #: Cost-based by default (see :meth:`cost_scorer`); the Advice
+        #: Manager layers path-expression offsets on top of it, and tests
+        #: may install plain :func:`lru_scorer` or a custom one.
+        self.scorer: EvictionScorer = self.cost_scorer
         self.eviction_count = 0
         #: Bumped on every store/discard; plans tagged with an older epoch
         #: must re-validate their matched elements before executing.
@@ -215,6 +263,9 @@ class Cache:
         relation: Relation | GeneratorRelation,
         use: str | None = None,
         derivation_seconds: float = 0.0,
+        kind: str = "view",
+        parents: tuple[str, ...] = (),
+        operator: str = "",
     ) -> CacheElement:
         """Insert a new element (evicting as needed); returns it.
 
@@ -223,19 +274,46 @@ class Cache:
         of the relation in the cache ... to represent more than one of
         these uses").  ``derivation_seconds`` seeds the efficacy ledger of
         a *newly created* element only — an existing element keeps the
-        cost it was actually derived at.
+        cost it was actually derived at, and likewise keeps its original
+        kind and lineage.
+
+        ``kind``/``parents``/``operator`` record derivation lineage for
+        operator-level intermediates: ``parents`` are ids of live elements
+        this one was computed from (ids of already-retired elements are
+        dropped — the DAG only ever points at live ancestors, which also
+        makes cycles impossible by construction).
         """
         key = definition.canonical_key()
         existing_id = self._by_key.get(key)
         if existing_id is not None:
             element = self._elements[existing_id]
             self.touch(element)
+            if kind == "view" and element.kind == "intermediate":
+                # A named view now backs this definition (a whole-ship
+                # fetch is registered before the CMS stores its answer):
+                # promote it so view-level policies — advice path-distance
+                # offsets name whole views — apply.  The alpha-equivalent
+                # view definition replaces the internal one (same
+                # canonical key, but the *view's* name is what path
+                # expressions track).  Lineage is kept.
+                element.kind = "view"
+                element.definition = definition
+            if element.derivation_seconds <= 0.0:
+                element.derivation_seconds = max(derivation_seconds, 0.0)
             if use:
                 element.uses.add(use)
             return element
 
         self.epoch += 1
         now = self.clock.now if self.clock is not None else 0.0
+        live_parents = [
+            p for p in dict.fromkeys(parents) if p in self._elements
+        ]
+        depth = (
+            1 + max(self._elements[p].depth for p in live_parents)
+            if live_parents
+            else 0
+        )
         element = CacheElement(
             element_id=f"E{next(self._ids)}",
             definition=definition,
@@ -245,14 +323,27 @@ class Cache:
             created_at=now,
             last_used_at=now,
             derivation_seconds=max(derivation_seconds, 0.0),
+            kind=kind,
+            parents=tuple(live_parents),
+            operator=operator,
+            depth=depth,
         )
         if use:
             element.uses.add(use)
         self._make_room(element.estimated_bytes(), exempt={element.element_id})
+        # Making room may itself have evicted a parent: lineage only ever
+        # points at elements that are live at registration time.
+        element.parents = tuple(
+            p for p in element.parents if p in self._elements
+        )
         self._elements[element.element_id] = element
         self._by_key[key] = element.element_id
         for pred in dict.fromkeys(definition.predicates()):
             self._by_predicate.setdefault(pred, {})[element.element_id] = None
+        for parent_id in element.parents:
+            self._children.setdefault(parent_id, {})[element.element_id] = None
+        if kind == "intermediate" and self.metrics is not None:
+            self.metrics.incr(CACHE_INTERMEDIATE_STORES)
         return element
 
     def discard(self, element_id: str) -> None:
@@ -274,6 +365,16 @@ class Cache:
                 members.pop(element_id, None)
                 if not members:
                     del self._by_predicate[pred]
+        # Prune the derivation DAG: the element's own fan-out entry, and
+        # its slot in each live parent's children list.  Children keep a
+        # stale id in ``parents`` (harmless: every walk checks liveness).
+        self._children.pop(element_id, None)
+        for parent_id in element.parents:
+            members = self._children.get(parent_id)
+            if members is not None:
+                members.pop(element_id, None)
+                if not members:
+                    del self._children[parent_id]
         if element.pin_count > 0:
             element.condemned = True
             self._condemned[element_id] = element
@@ -317,6 +418,13 @@ class Cache:
                 raise CacheCapacityError(
                     "cache full and every element is pinned or exempt"
                 )
+            if victim.pinned or self._has_pinned_descendant(victim.element_id):
+                from repro.common.errors import InvariantViolation
+
+                raise InvariantViolation(
+                    f"eviction chose {victim.element_id}, which is pinned "
+                    "or has a pinned derivation descendant"
+                )
             victim_bytes = victim.estimated_bytes()
             if self.metrics is not None:
                 self.metrics.incr(CACHE_EVICTIONS)
@@ -334,19 +442,106 @@ class Cache:
         candidates = [
             e
             for e in self._elements.values()
-            if not e.pinned and e.element_id not in exempt
+            if not e.pinned
+            and e.element_id not in exempt
+            and not self._has_pinned_descendant(e.element_id)
         ]
         if not candidates:
             return None
         return max(candidates, key=self.scorer)
 
+    def _has_pinned_descendant(self, element_id: str) -> bool:
+        """True when a live (transitive) derivation descendant is pinned:
+        such an element must not be evicted — a concurrent plan holding
+        the descendant may still walk its lineage."""
+        stack = list(self._children.get(element_id, ()))
+        seen: set[str] = set()
+        while stack:
+            child_id = stack.pop()
+            if child_id in seen:
+                continue
+            seen.add(child_id)
+            child = self._elements.get(child_id)
+            if child is None:
+                continue
+            if child.pinned:
+                return True
+            stack.extend(self._children.get(child_id, ()))
+        return False
+
+    # -- cost-based replacement ---------------------------------------------------
+    def decayed_frequency(self, element: CacheElement) -> float:
+        """The element's observed hit frequency, decayed by idle time
+        (half-life :data:`REUSE_HALF_LIFE`; no decay without a clock)."""
+        frequency = element.reuse_frequency
+        if frequency <= 0.0:
+            return 0.0
+        if self.clock is not None:
+            idle = max(self.clock.now - element.last_used_at, 0.0)
+            if idle > 0.0:
+                frequency *= 0.5 ** (idle / REUSE_HALF_LIFE)
+        return frequency
+
+    def element_value(self, element: CacheElement) -> float:
+        """GreedyDual-style retention value: measured recomputation cost x
+        predicted reuse (advice weight + decayed observed frequency) per
+        byte of cache spent keeping it."""
+        reuse = element.advice_weight + self.decayed_frequency(element)
+        return (
+            element.derivation_seconds
+            * reuse
+            / max(element.estimated_bytes(), 1)
+        )
+
+    def cost_scorer(self, element: CacheElement) -> float:
+        """The default eviction scorer: LRU recency minus a scaled value
+        term, so zero-cost elements (derivation_seconds == 0) degrade to
+        exact LRU while expensive, reused, compact elements are retained
+        far past their recency."""
+        return lru_scorer(element) - VALUE_WEIGHT * self.element_value(element)
+
     # -- lookup -----------------------------------------------------------------
     def touch(self, element: CacheElement) -> None:
-        """Record a use: bumps the LRU clock and the use count."""
+        """Record a use: bumps the LRU clock, the use count, and the
+        decayed reuse frequency — and warms derivation ancestors, so a hit
+        on a derived element keeps the inputs it came from alive (policy:
+        each ancestor level receives :data:`ANCESTOR_SHARE` of the hit,
+        geometrically attenuated; sequence/use_count/ledger untouched)."""
         element.sequence = next(self._clock)
         element.use_count += 1
+        element.reuse_frequency = self.decayed_frequency(element) + 1.0
         if self.clock is not None:
             element.last_used_at = self.clock.now
+        self._warm_ancestors(element)
+
+    def _warm_ancestors(self, element: CacheElement) -> None:
+        """Propagate a reuse event up the derivation DAG (breadth-first,
+        each element warmed at most once per event)."""
+        share = ANCESTOR_SHARE
+        frontier = list(element.parents)
+        seen = {element.element_id}
+        while frontier and share > 1e-6:
+            next_frontier: list[str] = []
+            for parent_id in frontier:
+                if parent_id in seen:
+                    continue
+                seen.add(parent_id)
+                parent = self._elements.get(parent_id)
+                if parent is None:
+                    continue
+                parent.reuse_frequency = (
+                    self.decayed_frequency(parent) + share
+                )
+                if self.clock is not None:
+                    parent.last_used_at = self.clock.now
+                next_frontier.extend(parent.parents)
+            frontier = next_frontier
+            share *= ANCESTOR_SHARE
+
+    def note_hit(self, element: CacheElement) -> None:
+        """Count a lookup served from an intermediate (observability)."""
+        if element.kind == "intermediate" and self.metrics is not None:
+            self.metrics.incr(CACHE_INTERMEDIATE_HITS)
 
     def credit_saving(self, element: CacheElement, seconds: float | None = None) -> None:
         """Credit the efficacy ledger: serving from ``element`` avoided
@@ -354,7 +549,9 @@ class Cache:
 
         Pure bookkeeping — no simulated time is charged, no trace event is
         emitted; the aggregate lands in
-        :data:`~repro.common.metrics.CACHE_SAVED_SECONDS`.
+        :data:`~repro.common.metrics.CACHE_SAVED_SECONDS`.  Like
+        :meth:`touch`, a credit also warms derivation ancestors (the
+        saving was only possible because the inputs were retained).
         """
         saved = element.derivation_seconds if seconds is None else seconds
         if saved <= 0:
@@ -362,6 +559,7 @@ class Cache:
         element.saved_seconds += saved
         if self.metrics is not None:
             self.metrics.incr(CACHE_SAVED_SECONDS, saved)
+        self._warm_ancestors(element)
 
     def get(self, element_id: str) -> CacheElement | None:
         """The element with this id, or None."""
@@ -414,9 +612,14 @@ class Cache:
         return {
             "element": element.element_id,
             "view": element.view_name,
+            "kind": element.kind,
+            "operator": element.operator,
+            "parents": list(element.parents),
+            "depth": element.depth,
             "bytes": element.estimated_bytes(),
             "rows": element.rows_materialized(),
             "hits": element.use_count,
+            "reuse_frequency": element.reuse_frequency,
             "derivation_seconds": element.derivation_seconds,
             "saved_seconds": element.saved_seconds,
             "created_at": element.created_at,
@@ -461,10 +664,23 @@ class Cache:
                 "evictions": self.eviction_count,
                 "advised": len(advised),
                 "advice_correct": sum(1 for e in advised if e["advice_agrees"]),
+                "intermediates": sum(
+                    1 for e in entries if e["kind"] == "intermediate"
+                ),
+                "max_depth": max((e["depth"] for e in entries), default=0),
             },
         }
 
     # -- invariants -----------------------------------------------------------------
+    @staticmethod
+    def _numeric_id(element_id: str) -> int:
+        """The allocation number behind an ``E<n>`` element id (ids that
+        do not follow the pattern sort first, conservatively)."""
+        try:
+            return int(element_id.lstrip("E"))
+        except ValueError:
+            return -1
+
     def check_invariants(self) -> None:
         """Audit the cache's internal consistency (cheap, read-only).
 
@@ -512,6 +728,30 @@ class Cache:
                     f"{element_id}: last used at {element.last_used_at} "
                     f"before created at {element.created_at}"
                 )
+            if element.depth < 0 or element.reuse_frequency < 0:
+                raise InvariantViolation(
+                    f"{element_id}: negative lineage statistics "
+                    f"(depth={element.depth}, "
+                    f"frequency={element.reuse_frequency})"
+                )
+            for parent_id in element.parents:
+                parent = self._elements.get(parent_id)
+                if parent is None:
+                    continue  # evicted ancestor: stale id is expected
+                # Ids are allocated in store order and parents must exist
+                # when their child is stored, so every live edge points
+                # from a smaller numeric id to a larger one — which is
+                # also a proof of DAG acyclicity.
+                if self._numeric_id(parent_id) >= self._numeric_id(element_id):
+                    raise InvariantViolation(
+                        f"{element_id}: lineage edge from {parent_id} does "
+                        "not respect store order (cycle risk)"
+                    )
+                if element_id not in self._children.get(parent_id, ()):
+                    raise InvariantViolation(
+                        f"{element_id} missing from live parent "
+                        f"{parent_id}'s children index"
+                    )
             key = element.definition.canonical_key()
             live_keys.add(key)
             if self._by_key.get(key) != element_id:
@@ -537,6 +777,27 @@ class Cache:
                         f"predicate index for {pred!r} references retired "
                         f"element {element_id}"
                     )
+        for parent_id, members in self._children.items():
+            if parent_id not in self._elements:
+                raise InvariantViolation(
+                    f"children index keeps retired parent {parent_id}"
+                )
+            if not members:
+                raise InvariantViolation(
+                    f"empty children-index bucket for {parent_id}"
+                )
+            for child_id in members:
+                child = self._elements.get(child_id)
+                if child is None:
+                    raise InvariantViolation(
+                        f"children index of {parent_id} references retired "
+                        f"element {child_id}"
+                    )
+                if parent_id not in child.parents:
+                    raise InvariantViolation(
+                        f"{child_id} listed under {parent_id} but does not "
+                        "name it as a parent"
+                    )
         for element_id, element in self._condemned.items():
             if element_id in self._elements:
                 raise InvariantViolation(
@@ -557,6 +818,7 @@ class Cache:
         self._condemned.clear()
         self._by_predicate.clear()
         self._by_key.clear()
+        self._children.clear()
         self.epoch += 1
 
 

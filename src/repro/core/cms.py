@@ -85,6 +85,18 @@ class CMSFeatures(PlannerFeatures):
     """All CMS technique toggles (extends the planner's)."""
 
     advice_replacement: bool = True
+    #: Register operator-level intermediates (remote plan parts, derived
+    #: cache subsets, semijoin-reduced fetches, federated gather parts) as
+    #: first-class cache elements with derivation lineage.
+    intermediates: bool = True
+    #: Shared multi-query optimization: reuse concurrent sessions'
+    #: in-flight identical remote subplans (needs a server-provided
+    #: registry; inert for a standalone CMS).
+    mqo: bool = True
+    #: Cost-based replacement: retain expensive, reused, compact elements
+    #: past their LRU recency (``Cache.cost_scorer``).  Off = plain LRU as
+    #: the base scorer (advice offsets, if any, still apply on top).
+    cost_replacement: bool = True
     #: Batch independently-needed remote fetches (prefetch companions,
     #: multi-part remote plans) into one round trip.
     batching: bool = True
@@ -112,6 +124,9 @@ class CMSFeatures(PlannerFeatures):
             semijoin=False,
             columnar=False,
             advice_replacement=False,
+            intermediates=False,
+            mqo=False,
+            cost_replacement=False,
             batching=False,
             retry_policy=RetryPolicy.none(),
             degradation=False,
@@ -133,6 +148,7 @@ class CacheManagementSystem:
         tracer=None,
         rdi: RemoteInterface | None = None,
         backend_of=None,
+        subplan_registry=None,
     ):
         self.remote = remote
         self.clock: SimClock = remote.clock
@@ -207,6 +223,12 @@ class CacheManagementSystem:
             tracer=self.tracer,
             batch_remote=self.features.batching,
             engine="columnar" if self.features.columnar else "tuple",
+            cache_intermediates=(
+                self.features.caching and self.features.intermediates
+            ),
+            subplan_registry=(
+                subplan_registry if self.features.mqo else None
+            ),
         )
 
     def _should_auto_index(self, view_name: str) -> bool:
@@ -238,10 +260,27 @@ class CacheManagementSystem:
         replacement decisions always follow the advice of the session
         whose query is running.
         """
+        base = (
+            self.cache.cost_scorer
+            if self.features.cost_replacement
+            else lru_scorer
+        )
         if self.features.advice_replacement:
-            self.cache.scorer = self.advice_manager.replacement_scorer()
+            # Advice offsets layered over the base (cost or LRU) scorer.
+            self.cache.scorer = self.advice_manager.replacement_scorer(
+                base_scorer=base
+            )
         else:
-            self.cache.scorer = lru_scorer
+            self.cache.scorer = base
+        # Federated links expose a gather-part sink: each unreduced
+        # per-backend part becomes an intermediate with lineage, so later
+        # spanning queries can subsume single-backend shares from cache.
+        if hasattr(self.rdi, "intermediate_sink"):
+            self.rdi.intermediate_sink = (
+                self._store_gather_part
+                if self.features.caching and self.features.intermediates
+                else None
+            )
 
     # -- metadata for the IE ---------------------------------------------------------
     def schema_of(self, table: str) -> Schema:
@@ -496,12 +535,31 @@ class CacheManagementSystem:
             if plan.expendable and element.use_count == 0:
                 element.expendable = True
                 element.advice_expected_reuse = False
+                element.advice_weight = 0.0  # predicted single-use
             elif element.use_count > 0:
                 element.expendable = False  # reuse proved the advice wrong
+                element.advice_weight = max(element.advice_weight, 1.0)
             elif self.advice_manager.view(psj.name) is not None:
                 element.advice_expected_reuse = True
+                element.advice_weight = 2.0  # advice predicts reuse
             self._build_indexes(element, plan.index_positions)
         return result
+
+    def _store_gather_part(self, psj: PSJQuery, relation: Relation, seconds: float) -> None:
+        """Federated gather sink: register one backend's unreduced part as
+        an operator-level intermediate (best-effort: a full or all-pinned
+        cache must never fail the query the part was fetched for)."""
+        try:
+            self.cache.store(
+                psj,
+                relation,
+                use="intermediate",
+                kind="intermediate",
+                operator="federated-gather",
+                derivation_seconds=max(seconds, 0.0),
+            )
+        except CacheCapacityError:
+            pass
 
     def _degraded_answer(self, psj: PSJQuery, plan, error: RemoteDBMSError) -> Relation:
         """Answer from stale/partial cache data after a remote failure.

@@ -20,11 +20,12 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.common.clock import CostProfile, SimClock
-from repro.common.errors import PlanningError, StalePlanError
+from repro.common.errors import CacheCapacityError, PlanningError, StalePlanError
 from repro.common.metrics import (
     CACHE_TUPLES_PROCESSED,
     EAGER_TUPLES_PRODUCED,
     LAZY_TUPLES_PRODUCED,
+    SERVER_SHARED_SUBPLANS,
     Metrics,
 )
 from repro.relational.columnar import ColumnarBatch
@@ -42,6 +43,7 @@ from repro.core.rdi import RemoteInterface
 from repro.obs.tracer import Tracer
 from repro.core.subsumption import (
     SubsumptionMatch,
+    _rename_condition,
     derive_full,
     derive_full_lazy,
     derive_part,
@@ -172,6 +174,8 @@ class ExecutionMonitor:
         tracer=None,
         batch_remote: bool = True,
         engine: str = "tuple",
+        cache_intermediates: bool = False,
+        subplan_registry=None,
     ):
         self.cache = cache
         self.rdi = rdi
@@ -199,6 +203,14 @@ class ExecutionMonitor:
         #: is consumed; left off for direct single-session use, where the
         #: IE may abandon a stream and the pin would block eviction forever.
         self.pin_streams = pin_streams
+        #: Register operator-level results (remote plan parts, derived
+        #: cache subsets, semijoin-reduced fetches) as cache elements with
+        #: derivation lineage at materialization time.
+        self.cache_intermediates = cache_intermediates
+        #: The server's in-flight shared-subplan registry (MQO), or None.
+        #: Consulted before every *unreduced* remote part fetch; a hit
+        #: reuses another session's identical round trip.
+        self.subplan_registry = subplan_registry
 
     # -- cost helpers ----------------------------------------------------------------
     def _charge_local(self, tuples: int) -> None:
@@ -284,6 +296,7 @@ class ExecutionMonitor:
         if element is None:
             raise StalePlanError("exact plan but the element vanished")
         self.cache.touch(element)
+        self.cache.note_hit(element)
         self.cache.credit_saving(element)
         self._charge_local(element.rows_materialized())
         self._pin_for_stream(element, element.relation)
@@ -294,6 +307,7 @@ class ExecutionMonitor:
         if match is None:
             raise PlanningError("cache-full plan without a match")
         self.cache.touch(match.element)
+        self.cache.note_hit(match.element)
         self.cache.credit_saving(match.element)
         if plan.lazy:
             gen = derive_full_lazy(match, plan.query)
@@ -365,21 +379,57 @@ class ExecutionMonitor:
 
         def run_remote() -> None:
             if self.batch_remote and len(remote_parts) > 1:
-                relations = self.rdi.fetch_many([p.sub_query for p in remote_parts])
-                for part, relation in zip(remote_parts, relations):
-                    produced.append(self._with_columns(relation, part.columns, "remote"))
+                shared: dict[int, Relation] = {}
+                missing: list[int] = []
+                for index, part in enumerate(remote_parts):
+                    reused = self._shared_subplan(part)
+                    if reused is not None:
+                        shared[index] = reused
+                    else:
+                        missing.append(index)
+                if missing:
+                    relations = self.rdi.fetch_many(
+                        [remote_parts[i].sub_query for i in missing]
+                    )
+                    for index, relation in zip(missing, relations):
+                        part = remote_parts[index]
+                        shared[index] = relation
+                        self._publish_subplan(part, relation)
+                        self._register_intermediate(
+                            part.sub_query,
+                            relation,
+                            operator="remote-fetch",
+                            measured=self._remote_part_estimate(relation),
+                        )
+                for index, part in enumerate(remote_parts):
+                    produced.append(
+                        self._with_columns(shared[index], part.columns, "remote")
+                    )
                 return
             for part in remote_parts:
-                relation = self.rdi.fetch(part.sub_query)
+                relation = self._shared_subplan(part)
+                if relation is None:
+                    started = self.clock.now
+                    relation = self.rdi.fetch(part.sub_query)
+                    measured = self.clock.now - started
+                    self._publish_subplan(part, relation)
+                    self._register_intermediate(
+                        part.sub_query,
+                        relation,
+                        operator="remote-fetch",
+                        measured=measured or self._remote_part_estimate(relation),
+                    )
                 produced.append(self._with_columns(relation, part.columns, "remote"))
 
         def run_cache() -> None:
             for part in cache_parts:
                 self.cache.touch(part.match.element)
+                self.cache.note_hit(part.match.element)
                 self.cache.credit_saving(part.match.element)
                 source_rows = part.match.element.rows_materialized()
                 relation = self._cache_part_relation(part)
                 self._charge_local(source_rows + len(relation))
+                self._register_cache_part(plan, part, relation, source_rows)
                 produced.append(relation)
 
         if any(p.bind_columns for p in remote_parts):
@@ -389,7 +439,9 @@ class ExecutionMonitor:
             run_cache()
             binding_source = list(produced)
             for part in remote_parts:
-                produced.append(self._fetch_semijoined(plan, part, binding_source))
+                produced.append(
+                    self._fetch_semijoined(plan, part, binding_source, cache_parts)
+                )
             result = self._combine(produced, plan)
             self.metrics.incr(EAGER_TUPLES_PRODUCED, len(result))
             return result
@@ -422,9 +474,309 @@ class ExecutionMonitor:
     def _cache_part_relation(self, part: CachePart) -> Relation:
         return derive_part(part.match, list(part.columns))
 
+    # -- shared multi-query optimization (MQO) --------------------------------------
+    def _shared_subplan(self, part: RemotePart) -> Relation | None:
+        """A concurrent session's identical unreduced round trip, if the
+        server's in-flight registry holds one (None otherwise).  A hit
+        reuses the already-shipped rows instead of repeating the fetch;
+        only the copy into this session's space is charged, as local work.
+        Semijoin-reduced parts never share: their results depend on this
+        session's binding values."""
+        if self.subplan_registry is None or part.bind_columns:
+            return None
+        relation = self.subplan_registry.lookup(part.sub_query)
+        if relation is None:
+            return None
+        self.metrics.incr(SERVER_SHARED_SUBPLANS)
+        self.tracer.event(
+            "mqo.share", view=part.sub_query.name, rows=len(relation)
+        )
+        self._charge_local(len(relation))
+        return relation
+
+    def _publish_subplan(self, part: RemotePart, relation: Relation) -> None:
+        """Offer an unreduced part's rows to concurrently running sessions."""
+        if self.subplan_registry is not None and not part.bind_columns:
+            self.subplan_registry.publish(part.sub_query, relation)
+
+    # -- operator-level intermediate registration -----------------------------------
+    def _remote_part_estimate(self, relation: Relation) -> float:
+        """The cost model's price of the fetch that produced ``relation``.
+
+        Used when the wall-clock measurement reads zero: inside a parallel
+        region ``clock.now`` is frozen until the region closes, so elapsed
+        time cannot be observed there."""
+        return (
+            self.profile.remote_latency
+            + len(relation) * self.profile.transfer_per_tuple
+        )
+
+    def _register_intermediate(
+        self,
+        definition: PSJQuery,
+        relation: Relation,
+        operator: str,
+        measured: float,
+        parents: tuple[str, ...] = (),
+    ) -> None:
+        """Best-effort registration of an operator-level result as a cache
+        element carrying derivation lineage.  A no-op when the feature is
+        off, and silently dropped when the cache cannot make room (a tiny
+        cache whose every resident element this very plan has pinned)."""
+        if not self.cache_intermediates or not isinstance(relation, Relation):
+            return
+        if not definition.projection:
+            return  # existence-only parts carry nothing reusable
+        try:
+            self.cache.store(
+                definition,
+                relation,
+                use="intermediate",
+                kind="intermediate",
+                parents=parents,
+                operator=operator,
+                derivation_seconds=max(measured, 0.0),
+            )
+        except CacheCapacityError:
+            pass
+
+    def _covered_definition(self, plan: QueryPlan, match: SubsumptionMatch):
+        """The query occurrences a match covers, plus the exact condition
+        set the derived rows satisfy, all in query column space.
+
+        Conditions are the source element's definition conditions renamed
+        through the tag mapping, united with the re-applied residuals
+        mapped back from element attributes to query columns, deduplicated
+        by normalized form.
+        """
+        occurrences = tuple(
+            occ for occ in plan.query.occurrences if occ.tag in match.covered_tags
+        )
+        tag_map = dict(match.tag_mapping)
+        attr_to_query = {attr: q_col for q_col, attr in match.column_map}
+        conditions: list[Comparison] = []
+        seen: set[str] = set()
+        for condition in match.element.definition.conditions:
+            renamed = _rename_condition(condition, tag_map)
+            key = str(renamed.normalized())
+            if key not in seen:
+                seen.add(key)
+                conditions.append(renamed)
+        for condition in match.residual_conditions:
+            renamed = condition.rename_columns(
+                {c: attr_to_query[c] for c in condition.columns()}
+            )
+            key = str(renamed.normalized())
+            if key not in seen:
+                seen.add(key)
+                conditions.append(renamed)
+        return occurrences, tuple(conditions)
+
+    def _register_cache_part(
+        self, plan: QueryPlan, part: CachePart, relation: Relation, source_rows: int
+    ) -> None:
+        """Register a derived cache subset as its own element, child of the
+        element it was selected/projected from.
+
+        The merged definition — covered occurrences, the source element's
+        conditions plus the residuals (all in query column space), the
+        part's exposed columns as projection — is answered *exactly* by the
+        produced rows: projection commutes with the residual selection
+        because every residual column survives the source's projection
+        (subsumption checked that).  Only strictly smaller derivations are
+        registered; a near-copy of the source would just crowd the cache.
+        """
+        if not self.cache_intermediates or not part.columns:
+            return
+        match_arity = part.match.element.definition.arity
+        if len(relation) >= source_rows and len(part.columns) >= match_arity:
+            return
+        occurrences, conditions = self._covered_definition(plan, part.match)
+        definition = PSJQuery(
+            f"{plan.query.name}#part",
+            occurrences,
+            conditions,
+            tuple(part.columns),
+        )
+        stored = Relation(
+            result_schema(definition.name, len(part.columns)), iter(relation)
+        )
+        derive_seconds = (
+            (source_rows + len(relation))
+            * self.profile.cache_per_tuple
+            * self._local_cost_factor
+        )
+        self._register_intermediate(
+            definition,
+            stored,
+            operator="select-project",
+            measured=derive_seconds,
+            parents=(part.match.element.element_id,),
+        )
+
+    def _binding_condition(self, plan: QueryPlan, spec) -> Comparison | None:
+        """The combine-stage equality a binding spec implements, or None."""
+        want = {spec.remote_column, spec.cache_column}
+        for condition in plan.cross_conditions:
+            if (
+                condition.op == "="
+                and condition.is_col_col()
+                and condition.columns() == want
+            ):
+                return condition
+        return None
+
+    def _register_semijoin_fetch(
+        self,
+        plan: QueryPlan,
+        part: RemotePart,
+        relation: Relation,
+        applied: list,
+        cache_parts: list,
+        measured: float,
+    ) -> None:
+        """Register a semijoin-reduced fetch under the merged definition
+        (sub-query joined with its binding sources, projected onto the
+        sub-query's columns).
+
+        Soundness: under set semantics, projecting the equality join onto
+        the sub-query's columns *is* the semijoin the shipped IN-lists
+        computed — a sub-query tuple survives either one exactly when a
+        matching source tuple exists.  Registration is skipped in the
+        cases where independent IN-lists are weaker than the join: two
+        specs drawing on the same source part (the join correlates them
+        row-wise) or two specs reducing the same remote column (the later
+        IN-list replaced the earlier).  A fetch where no spec applied is
+        just an unreduced fetch and registers as one.
+
+        The stored projection is *widened* beyond the sub-query's columns
+        with source-side columns the join determines: the equality column
+        itself (equal to the fetched one in every row of the merged
+        definition) and any source-element column functionally determined
+        by it (each binding value maps to exactly one source row —
+        checked, not assumed).  Widening costs a few duplicated values but
+        is what makes the part reusable: it preserves join-internal
+        columns the *query's* projection discarded, so a later
+        tighter drill-down can re-apply its residual condition locally
+        instead of re-fetching.
+        """
+        if not self.cache_intermediates:
+            return
+        if not applied:
+            self._register_intermediate(
+                part.sub_query,
+                relation,
+                operator="remote-fetch",
+                measured=measured or self._remote_part_estimate(relation),
+            )
+            return
+        if not part.sub_query.projection:
+            return
+        source_indexes = [index for _spec, index in applied]
+        remote_columns = [spec.remote_column for spec, _index in applied]
+        if len(set(source_indexes)) != len(source_indexes):
+            return
+        if len(set(remote_columns)) != len(remote_columns):
+            return
+        occurrences = list(part.sub_query.occurrences)
+        conditions = list(part.sub_query.conditions)
+        parents: list[str] = []
+        widen_names: list[str] = []
+        widen_fns: list = []  # fetched row -> appended value
+        taken = set(part.sub_query.projection)
+        for spec, index in applied:
+            if index >= len(cache_parts):
+                return
+            source = cache_parts[index]
+            equality = self._binding_condition(plan, spec)
+            if equality is None:
+                return
+            occs, conds = self._covered_definition(plan, source.match)
+            occurrences.extend(occs)
+            conditions.extend(conds)
+            conditions.append(equality)
+            parents.append(source.match.element.element_id)
+            if spec.remote_column not in part.sub_query.projection:
+                continue
+            remote_pos = part.sub_query.projection.index(spec.remote_column)
+            if spec.cache_column not in taken:
+                # The equality makes the source-side name a duplicate of
+                # the fetched column, row for row.
+                widen_names.append(spec.cache_column)
+                widen_fns.append(lambda row, p=remote_pos: row[p])
+                taken.add(spec.cache_column)
+            # Join-determined source columns come from the source *element*
+            # (the produced part may already have projected them away).
+            column_map = dict(source.match.column_map)
+            key_attr = column_map.get(spec.cache_column)
+            if key_attr is None:
+                continue
+            extension = source.match.element.extension()
+            key_pos = extension.schema.position(key_attr)
+            mapping: dict = {}
+            conflicted: set[int] = set()
+            for source_row in extension:
+                prior = mapping.setdefault(source_row[key_pos], source_row)
+                if prior is not source_row:
+                    for position in range(len(source_row)):
+                        if prior[position] != source_row[position]:
+                            conflicted.add(position)
+            self._charge_local(len(extension))  # the functional-check pass
+            for q_col, attr in column_map.items():
+                if q_col in taken:
+                    continue
+                position = extension.schema.position(attr)
+                if position == key_pos or position in conflicted:
+                    continue
+                widen_names.append(q_col)
+                widen_fns.append(
+                    lambda row, m=mapping, rp=remote_pos, sp=position: m[row[rp]][sp]
+                )
+                taken.add(q_col)
+        deduped: list[Comparison] = []
+        seen: set[str] = set()
+        for condition in conditions:
+            key = str(condition.normalized())
+            if key not in seen:
+                seen.add(key)
+                deduped.append(condition)
+        projection = tuple(part.sub_query.projection) + tuple(widen_names)
+        stored = relation
+        if widen_names:
+            try:
+                rows = [
+                    row + tuple(fn(row) for fn in widen_fns) for row in relation
+                ]
+            except KeyError:
+                # A fetched value outside the binding source (should not
+                # happen — the IN-list came from it); widening would be
+                # guesswork, so register nothing.
+                return
+            stored = Relation(
+                result_schema(f"{part.sub_query.name}#semijoin", len(projection)),
+                rows,
+            )
+        definition = PSJQuery(
+            f"{part.sub_query.name}#semijoin",
+            tuple(occurrences),
+            tuple(deduped),
+            projection,
+        )
+        self._register_intermediate(
+            definition,
+            stored,
+            operator="semijoin-fetch",
+            measured=measured or self._remote_part_estimate(relation),
+            parents=tuple(dict.fromkeys(parents)),
+        )
+
     # -- semijoin reduction ---------------------------------------------------------
     def _fetch_semijoined(
-        self, plan: QueryPlan, part: RemotePart, binding_source: list[Relation]
+        self,
+        plan: QueryPlan,
+        part: RemotePart,
+        binding_source: list[Relation],
+        cache_parts: list | None = None,
     ) -> Relation:
         """Fetch one remote part reduced by bindings from the cache track.
 
@@ -433,10 +785,12 @@ class ExecutionMonitor:
         relation is produced instead.
         """
         bindings: dict[str, tuple[object, ...]] = {}
+        applied: list[tuple[object, int]] = []  # (spec, binding source index)
         for spec in part.bind_columns:
-            values = self._extract_bindings(spec.cache_column, binding_source)
-            if values is None:
+            found = self._extract_bindings(spec.cache_column, binding_source)
+            if found is None:
                 continue  # source column not exposed: fall back to unbound
+            source_index, values = found
             if not values:
                 self.tracer.event(
                     "rdi.semijoin",
@@ -449,15 +803,26 @@ class ExecutionMonitor:
                     return Relation(Schema("remote", part.columns), [])
                 return Relation(Schema("remote", ("_exists_remote",)), [])
             bindings[spec.remote_column] = values
+            applied.append((spec, source_index))
+        started = self.clock.now
         relation = self.rdi.fetch(part.sub_query, bindings=bindings or None)
+        self._register_semijoin_fetch(
+            plan,
+            part,
+            relation,
+            applied,
+            cache_parts if cache_parts is not None else [],
+            self.clock.now - started,
+        )
         return self._with_columns(relation, part.columns, "remote")
 
     def _extract_bindings(
         self, cache_column: str, produced: list[Relation]
-    ) -> tuple[object, ...] | None:
-        """Distinct values of ``cache_column`` across the produced cache
-        parts (None when no part exposes the column)."""
-        for relation in produced:
+    ) -> tuple[int, tuple[object, ...]] | None:
+        """Distinct values of ``cache_column`` from the first produced cache
+        part exposing it, with that part's index (None when no part exposes
+        the column)."""
+        for index, relation in enumerate(produced):
             if cache_column not in relation.schema.attributes:
                 continue
             position = relation.schema.position(cache_column)
@@ -470,7 +835,7 @@ class ExecutionMonitor:
                     values.append(value)
             # The extraction pass re-reads the part's rows.
             self._charge_local(len(relation))
-            return tuple(values)
+            return index, tuple(values)
         return None
 
     # -- graceful degradation (remote unreachable) ---------------------------------

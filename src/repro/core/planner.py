@@ -179,12 +179,18 @@ class QueryPlanner:
         if self.features.caching:
             exact = self.cache.lookup_exact(query)
             if exact is not None:
+                exact_notes = ["exact-match result reuse"]
+                if exact.kind == "intermediate":
+                    exact_notes.append(
+                        f"reuses intermediate {exact.element_id} "
+                        f"({exact.operator or 'unknown-op'}, depth {exact.depth})"
+                    )
                 return QueryPlan(
                     query,
                     "exact",
                     cache_result=False,  # already cached
                     lazy=False,
-                    notes=["exact-match result reuse"],
+                    notes=exact_notes,
                 )
             if self.features.subsumption:
                 matches = find_relevant(self.cache, query)
@@ -205,7 +211,8 @@ class QueryPlanner:
                     expendable=expendable,
                     index_positions=index_positions,
                     estimated_local_cost=self._derive_cost(full),
-                    notes=[f"derived from {full.element.element_id}"],
+                    notes=[f"derived from {full.element.element_id}"]
+                    + self._intermediate_notes([full]),
                 )
         else:
             matches = []
@@ -225,12 +232,25 @@ class QueryPlanner:
 
         # -- step 3: hybrid vs all-remote.
         chosen = self._choose_parts(query, matches)
+        notes.extend(self._intermediate_notes(chosen))
         plan = self._assemble(query, chosen, notes)
         plan.cache_result = cache_result
         plan.expendable = expendable
         plan.index_positions = index_positions
         plan.prefetches = tuple(prefetches)
         return plan
+
+    @staticmethod
+    def _intermediate_notes(matches) -> list[str]:
+        """Plan notes for every chosen match that subsumes against an
+        operator-level intermediate (observability: ``explain`` and trace
+        spans surface which lineage the plan rode on)."""
+        return [
+            f"reuses intermediate {m.element.element_id} "
+            f"({m.element.operator or 'unknown-op'}, depth {m.element.depth})"
+            for m in matches
+            if m.element.kind == "intermediate"
+        ]
 
     # -- step 1 helpers -----------------------------------------------------------
     def generalization_of(self, query: PSJQuery) -> PSJQuery | None:

@@ -101,12 +101,20 @@ class PlanExplanation:
         for note in self.notes:
             out.append(f"  note: {note}")
         for row in self.element_efficacy:
-            out.append(
+            line = (
                 f"  efficacy {row['element']} ({row['view']}): "
                 f"hits={row['hits']} saved={row['saved_seconds']:.3f}s "
                 f"derivation={row['derivation_seconds']:.3f}s "
                 f"age={row['age_seconds']:.3f}s"
             )
+            if row.get("kind") == "intermediate":
+                line += f" kind=intermediate op={row.get('operator') or '?'}"
+            out.append(line)
+            if row.get("parents"):
+                out.append(
+                    f"    lineage: depth={row.get('depth', 0)} "
+                    f"parents={','.join(row['parents'])}"
+                )
         if not self.candidates:
             out.append("  subsumption: no candidate cache elements")
         for report in self.candidates:

@@ -139,6 +139,12 @@ class FederatedInterface:
         #: simulated-clock deltas around each backend round trip, so a
         #: fetch issued inside a frozen ``parallel()`` region observes 0.
         self.slo = slo
+        #: Optional gather-part sink, ``callable(sub_psj, relation,
+        #: derivation_seconds)``: the CMS installs one so each *unreduced*
+        #: per-backend part of a scatter becomes an operator-level cache
+        #: intermediate (semijoin-reduced parts are skipped — their rows
+        #: depend on the binding set, not on ``sub_psj`` alone).
+        self.intermediate_sink = None
         retries = retries or {}
         #: One resilient link per backend: its own retry budget, its own
         #: breaker (tagged with the backend name in traces).
@@ -334,6 +340,10 @@ class FederatedInterface:
                 part.sub, bindings=part_bindings or None
             )
             self._observe_backend(part.backend, started)
+            if self.intermediate_sink is not None and not part_bindings:
+                self.intermediate_sink(
+                    part.sub, relation, self.clock.now - started
+                )
             labeled = self._labeled(part, relation)
             if self.semijoin and not len(labeled):
                 empty = True

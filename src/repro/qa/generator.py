@@ -110,6 +110,21 @@ class CaseConfig:
         federated variant exercises routing and cross-backend joins."""
         return cls(backends=(2, 3))
 
+    @classmethod
+    def churny(cls) -> "CaseConfig":
+        """The eviction-churn profile: more views and queries over small
+        caches, with scans on most tables so hybrid plans (and therefore
+        operator-level intermediates — cache-derived parts, semijoin
+        fetches, lineage chains) form and then get evicted mid-sequence.
+        Exercises cost-based replacement and the pinned-descendant
+        invariant under sustained pressure."""
+        return cls(
+            views=(3, 6),
+            queries=(8, 16),
+            scan_rate=0.7,
+            cache_bytes_choices=(800, 1_200, 2_000, 3_000),
+        )
+
 
 @dataclass
 class FuzzCase:

@@ -52,6 +52,7 @@ from repro.remote.sqlite_backend import SqliteEngine
 from repro.core.cache import Cache
 from repro.core.cms import CMSFeatures
 from repro.server.admission import AdmissionController
+from repro.server.mqo import SharedSubplanRegistry
 from repro.server.scheduler import POLICIES, Scheduler
 from repro.server.session import Request, Session, SessionManager
 
@@ -76,6 +77,13 @@ class ServerConfig:
     telemetry_interval: float | None = None
     #: Per-session latency objectives; None disables SLO monitoring.
     slo: SLOPolicy | None = None
+    #: Shared multi-query optimization: concurrent sessions shipping the
+    #: same remote subplan reuse one in-flight result (see
+    #: :mod:`repro.server.mqo`).  The registry is cleared whenever the
+    #: server goes idle, so sharing only ever spans one concurrent burst.
+    mqo: bool = True
+    #: Bound on the in-flight subplan registry (FIFO beyond it).
+    mqo_max_entries: int = 64
 
     def __post_init__(self) -> None:
         if self.scheduler_policy not in POLICIES:
@@ -148,12 +156,19 @@ class BraidServer:
             tracer=tracer,
             clock=self.clock,
         )
+        #: In-flight shared-subplan registry (MQO), or None when disabled.
+        self.subplan_registry = (
+            SharedSubplanRegistry(max_entries=self.config.mqo_max_entries)
+            if self.config.mqo
+            else None
+        )
         self.sessions = SessionManager(
             self.remote,
             self.cache,
             features=self.config.features,
             metrics=self.metrics,
             pin_streams=pin_streams,
+            subplan_registry=self.subplan_registry,
         )
         self.admission = AdmissionController(
             max_queue_depth=self.config.max_queue_depth,
@@ -262,13 +277,27 @@ class BraidServer:
         return True
 
     def run_until_idle(self, max_steps: int | None = None) -> int:
-        """Step until nothing is runnable; returns the number of steps."""
+        """Step until nothing is runnable; returns the number of steps.
+
+        Going idle ends the concurrent burst, so the in-flight subplan
+        registry is cleared: MQO sharing is a concurrency optimization,
+        never a second cache (durable reuse belongs to the Cache, which
+        has eviction, pinning, and invalidation; the registry has none).
+        """
         steps = 0
         while self.step():
             steps += 1
             if max_steps is not None and steps >= max_steps:
                 break
+        if self.subplan_registry is not None and not self._has_runnable():
+            self.subplan_registry.clear()
         return steps
+
+    def _has_runnable(self) -> bool:
+        """True when any session still has runnable work."""
+        return any(
+            self.admission.is_eligible(s) for s in self.sessions.sessions()
+        )
 
     def results(self, session_name: str) -> list[Request]:
         """Completed requests of an open session, in completion order."""

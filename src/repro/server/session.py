@@ -164,11 +164,16 @@ class SessionManager:
         features: CMSFeatures | None = None,
         metrics: Metrics | None = None,
         pin_streams: bool = True,
+        subplan_registry=None,
     ):
         self.remote = remote
         self.cache = cache
         self.features = features
         self.metrics = metrics if metrics is not None else remote.metrics
+        #: The server's shared in-flight subplan registry (MQO), handed to
+        #: every session's CMS so concurrent identical remote subplans are
+        #: computed once.  None disables sharing.
+        self.subplan_registry = subplan_registry
         #: Server sessions drain every stream (the drain phase), so pins
         #: held for a stream's lifetime are always released; a directly
         #: embedded single session passes False (the IE may abandon
@@ -193,6 +198,7 @@ class SessionManager:
             cache=self.cache,
             metrics=self.metrics.scope(name),
             pin_streams=self.pin_streams,
+            subplan_registry=self.subplan_registry,
         )
         session = Session(name, cms, cms.metrics, weight=weight)
         session.begin_advice(advice)

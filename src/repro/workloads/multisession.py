@@ -41,12 +41,25 @@ class MultiSessionSpec:
     #: Value domain of the underlying ``selection_universe`` workload.
     domain: int = 1000
     seed: int = 17
+    #: Fraction of the shared hot pool that are ``item ⋈ ord`` join shapes
+    #: (targets :func:`~repro.workloads.synthetic.retail_universe`, which
+    #: has the ``ord`` table).  0 keeps the classic selection-only pool —
+    #: and the exact streams earlier specs produced.
+    join_fraction: float = 0.0
+    #: Zipf-like skew over hot-pool draws: rank ``r`` is weighted
+    #: ``1/(r+1)^s``.  0 keeps the classic uniform draw (same RNG calls,
+    #: so earlier specs stay byte-identical).
+    zipf_skew: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise ValueError("need at least one client")
         if not 0.0 <= self.shared_fraction <= 1.0:
             raise ValueError("shared_fraction must be within [0, 1]")
+        if not 0.0 <= self.join_fraction <= 1.0:
+            raise ValueError("join_fraction must be within [0, 1]")
+        if self.zipf_skew < 0.0:
+            raise ValueError("zipf_skew must be non-negative")
 
 
 def _query_pool(rng: random.Random, size: int, domain: int, tag: int) -> list[tuple]:
@@ -59,19 +72,60 @@ def _query_pool(rng: random.Random, size: int, domain: int, tag: int) -> list[tu
     ]
 
 
+def _zipf_pick(rng: random.Random, items: list, skew: float):
+    """Rank-weighted draw: item at rank ``r`` has weight ``1/(r+1)^skew``.
+
+    ``skew == 0`` falls back to ``rng.choice`` — the exact call pattern
+    (and therefore RNG state evolution) of the unskewed generator.
+    """
+    if skew <= 0.0:
+        return rng.choice(items)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(items))]
+    point = rng.random() * sum(weights)
+    for item, weight in zip(items, weights):
+        point -= weight
+        if point <= 0:
+            return item
+    return items[-1]
+
+
 def client_streams(spec: MultiSessionSpec) -> dict[str, list[ConjunctiveQuery]]:
     """Per-client query streams, keyed by client name (``c00``, ``c01``, …).
 
     Shared-pool draws reuse one parsed query object per shape, so two
     clients drawing the same hot shape issue *structurally identical*
     queries — exactly what exact-match and subsumption reuse feed on.
+    With ``join_fraction`` the leading hot shapes become ``item ⋈ ord``
+    joins: their selection constants differ shape to shape, but the
+    ``ord`` operand they need is one and the same — re-shipped per shape
+    by whole-view caching, shipped once under operator-level caching.
     """
     pool_rng = random.Random(spec.seed)
     hot_shapes = _query_pool(pool_rng, spec.hot_pool_size, spec.domain, tag=0)
-    hot_queries = [
-        parse_query(f"{name}(I, V) :- item(I, {cat}, V), V >= {threshold}")
-        for name, cat, threshold in hot_shapes
-    ]
+    join_count = int(spec.hot_pool_size * spec.join_fraction)
+    sel_count = spec.hot_pool_size - join_count
+    hot_texts = []
+    for index, (name, cat, threshold) in enumerate(hot_shapes):
+        if index >= sel_count:
+            # Drill-down ladder: join shapes cycle over the selection
+            # shapes at the hot Zipf head, each round one notch tighter —
+            # the browse-then-drill access pattern.  By the time a drill
+            # arrives its item selection is usually cached, so the planner
+            # goes hybrid (cached items + semijoin-reduced order fetch);
+            # and because a drill projects (I, Q) but filters on V, its
+            # *whole view* can never answer the next-tighter drill — only
+            # an operator-level intermediate that kept V can.
+            if sel_count > 0:
+                ordinal, partner = divmod(index - sel_count, sel_count)
+                _, cat, threshold = hot_shapes[partner]
+                for _ in range(ordinal + 1):
+                    threshold = threshold + (spec.domain - threshold) // 3
+            hot_texts.append(
+                f"{name}(I, Q) :- item(I, {cat}, V), ord(I, Q), V >= {threshold}"
+            )
+        else:
+            hot_texts.append(f"{name}(I, V) :- item(I, {cat}, V), V >= {threshold}")
+    hot_queries = [parse_query(text) for text in hot_texts]
 
     streams: dict[str, list[ConjunctiveQuery]] = {}
     for client_index in range(spec.clients):
@@ -86,7 +140,7 @@ def client_streams(spec: MultiSessionSpec) -> dict[str, list[ConjunctiveQuery]]:
         stream: list[ConjunctiveQuery] = []
         for _ in range(spec.requests_per_client):
             if client_rng.random() < spec.shared_fraction:
-                stream.append(client_rng.choice(hot_queries))
+                stream.append(_zipf_pick(client_rng, hot_queries, spec.zipf_skew))
             else:
                 shape_name, cat, threshold = client_rng.choice(private_shapes)
                 stream.append(

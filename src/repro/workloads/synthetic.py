@@ -85,6 +85,49 @@ category_sample(I) :- item(I, cat0, V).
     )
 
 
+def retail_universe(
+    rows: int = 300,
+    orders: int = 600,
+    domain: int = 1000,
+    seed: int = 5,
+) -> Workload:
+    """``item(id, cat, val)`` plus ``ord(item_id, qty)`` for join sweeps.
+
+    Selection queries over ``item`` overlap exactly as in
+    :func:`selection_universe`; join queries against ``ord`` all need the
+    same scan of ``ord`` shipped from the remote DBMS — the operand an
+    operator-level intermediate cache pays for once, where whole-view
+    caching re-ships it for every distinct query.
+    """
+    rng = random.Random(seed)
+    item_rows = [
+        (i, f"cat{rng.randrange(10)}", rng.randrange(domain)) for i in range(rows)
+    ]
+    ord_rows = sorted(
+        {(rng.randrange(rows), 1 + rng.randrange(9)) for _ in range(orders)}
+    )
+    tables = [
+        Relation(Schema("item", ("item_id", "cat", "val")), item_rows),
+        Relation(Schema("ord", ("item_id", "qty")), ord_rows),
+    ]
+    rules = """
+in_category(I, C) :- item(I, C, V).
+valued_over(I, T) :- item(I, C, V), V >= T.
+item_orders(I, V, Q) :- item(I, C, V), ord(I, Q).
+"""
+    return Workload(
+        name="retail-universe",
+        tables=tables,
+        rules=rules,
+        database=(("item", 3), ("ord", 2)),
+        example_queries={"orders": "item_orders(I, V, Q)"},
+        description=(
+            f"{rows} items, {len(ord_rows)} orders over a "
+            f"{domain}-value domain"
+        ),
+    )
+
+
 def fanout_graph(
     nodes: int = 60,
     out_degree: int = 2,
