@@ -45,6 +45,7 @@ PROFILES = {
     "faulty": CaseConfig.faulty,
     "federated": CaseConfig.federated,
     "churny": CaseConfig.churny,
+    "variants": CaseConfig.variants,
 }
 
 
@@ -62,8 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROFILES),
         default="healthy",
         help="case profile: healthy link, PR-1 fault schedules, "
-        "multi-backend federation (tables spread over 2-3 backends), or "
-        "eviction churn (small caches, many queries, intermediates)",
+        "multi-backend federation (tables spread over 2-3 backends), "
+        "eviction churn (small caches, many queries, intermediates), or "
+        "equivalent-query variants (mutated spellings that must hit the "
+        "canonical cache tier with identical answers)",
     )
     parser.add_argument(
         "--engine",

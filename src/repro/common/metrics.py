@@ -324,6 +324,9 @@ REMOTE_SEMIJOIN_REQUESTS = "remote.semijoin_requests"
 #: DML requests that shared one round trip with at least one other.
 REMOTE_BATCHED_REQUESTS = "remote.batched_requests"
 CACHE_HITS_EXACT = "cache.hits.exact"
+#: Exact hits served by the canonical tier: the stored definition was an
+#: alpha-equivalent variant spelling, not structurally identical.
+CACHE_HITS_CANONICAL = "cache.canonical_hits"
 CACHE_HITS_SUBSUMED = "cache.hits.subsumed"
 CACHE_MISSES = "cache.misses"
 CACHE_EVICTIONS = "cache.evictions"

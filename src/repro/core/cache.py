@@ -35,6 +35,7 @@ from repro.relational.generator import GeneratorRelation
 from repro.relational.index import IndexSet
 from repro.relational.relation import Relation
 from repro.caql.psj import PSJQuery
+from repro.core.canonical import canonical_key
 
 #: Scores an element's eviction priority; higher = evict sooner.
 EvictionScorer = Callable[["CacheElement"], float]
@@ -194,8 +195,17 @@ def lru_scorer(element: CacheElement) -> float:
 
 
 def key_of(definition: PSJQuery) -> tuple:
-    """The canonical identity the cache and the MQO registry share."""
-    return definition.canonical_key()
+    """The canonical identity the cache and the MQO registry share.
+
+    This is the **canonical tier** of cache lookup (ROADMAP item 1):
+    the key comes from :func:`repro.core.canonical.canonical_key`, so
+    alpha-equivalent spellings — reordered conjuncts, renamed variables,
+    foldable intervals (``x>5 ∧ x>3``), respelled constants (``1`` vs
+    ``1.0``) — all index the same element and exact-canonical hits
+    bypass subsumption scoring entirely.  ``PSJQuery.canonical_key()``
+    (the *structural* key) remains available for order-sensitive exact
+    matching (the exact-cache baseline uses it)."""
+    return canonical_key(definition)
 
 
 class Cache:
@@ -283,7 +293,7 @@ class Cache:
         dropped — the DAG only ever points at live ancestors, which also
         makes cycles impossible by construction).
         """
-        key = definition.canonical_key()
+        key = key_of(definition)
         existing_id = self._by_key.get(key)
         if existing_id is not None:
             element = self._elements[existing_id]
@@ -358,7 +368,7 @@ class Cache:
         if element is None:
             return
         self.epoch += 1
-        self._by_key.pop(element.definition.canonical_key(), None)
+        self._by_key.pop(key_of(element.definition), None)
         for pred in dict.fromkeys(element.definition.predicates()):
             members = self._by_predicate.get(pred)
             if members is not None:
@@ -566,9 +576,13 @@ class Cache:
         return self._elements.get(element_id)
 
     def lookup_exact(self, definition: PSJQuery) -> CacheElement | None:
-        """An element whose definition is structurally identical (the
-        exact-match reuse of [SELL87]/[IOAN88], subsumed by BrAID)."""
-        element_id = self._by_key.get(definition.canonical_key())
+        """An element whose definition shares this canonical key.
+
+        The classic exact-match reuse of [SELL87]/[IOAN88] widened by the
+        canonical tier: a hit may be a structurally identical definition
+        *or* an alpha-equivalent variant spelling of one — either way the
+        stored extension answers the query verbatim."""
+        element_id = self._by_key.get(key_of(definition))
         if element_id is None:
             return None
         return self._elements[element_id]
@@ -752,7 +766,7 @@ class Cache:
                         f"{element_id} missing from live parent "
                         f"{parent_id}'s children index"
                     )
-            key = element.definition.canonical_key()
+            key = key_of(element.definition)
             live_keys.add(key)
             if self._by_key.get(key) != element_id:
                 raise InvariantViolation(

@@ -35,6 +35,7 @@ from repro.common.errors import (
 )
 from repro.common.metrics import (
     CACHE_GENERALIZATIONS,
+    CACHE_HITS_CANONICAL,
     CACHE_HITS_EXACT,
     CACHE_HITS_SUBSUMED,
     CACHE_INDEX_BUILDS,
@@ -116,6 +117,7 @@ class CMSFeatures(PlannerFeatures):
         return cls(
             caching=False,
             subsumption=False,
+            canonical=False,
             lazy=False,
             prefetch=False,
             generalization=False,
@@ -477,6 +479,10 @@ class CacheManagementSystem:
 
         if plan.strategy == "exact":
             self.metrics.incr(CACHE_HITS_EXACT)
+            if plan.canonical_hit:
+                # Served by the canonical tier: a variant spelling of a
+                # stored definition, recognized without subsumption.
+                self.metrics.incr(CACHE_HITS_CANONICAL)
         elif plan.strategy == "cache-full":
             self.metrics.incr(CACHE_HITS_SUBSUMED)
         elif plan.strategy == "hybrid":

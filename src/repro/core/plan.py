@@ -102,6 +102,10 @@ class QueryPlan:
     #: execution time the executor re-validates every matched element and
     #: raises :class:`~repro.common.errors.StalePlanError` if one is gone.
     epoch: int = -1
+    #: Exact strategy only: the hit came from the canonical tier — the
+    #: stored definition is an alpha-equivalent variant spelling rather
+    #: than structurally identical (metrics: ``cache.canonical_hits``).
+    canonical_hit: bool = False
     notes: list[str] = field(default_factory=list)
 
     @property

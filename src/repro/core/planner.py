@@ -25,6 +25,7 @@ from repro.relational.statistics import RelationStatistics
 from repro.caql.psj import ConstProj, PSJQuery, psj_from_literals
 from repro.core.advice_manager import AdviceManager
 from repro.core.cache import Cache
+from repro.core.canonical import canonicalize
 from repro.core.plan import BindingSpec, CachePart, PlanPart, QueryPlan, RemotePart
 from repro.core.subsumption import SubsumptionMatch, explain_candidates, find_relevant
 from repro.obs.tracer import Tracer
@@ -36,6 +37,13 @@ class PlannerFeatures:
 
     caching: bool = True
     subsumption: bool = True
+    #: Canonicalization-first lookup: the cache keys elements by the
+    #: semantic canonical form (:mod:`repro.core.canonical`), so variant
+    #: spellings of a stored definition exact-hit without subsumption
+    #: scoring, and a query whose canonical form is contradictory takes
+    #: the empty-result fast path.  Off = structural exact matching only
+    #: (the E22 subsumption-only baseline).
+    canonical: bool = True
     lazy: bool = True
     prefetch: bool = True
     generalization: bool = True
@@ -161,6 +169,16 @@ class QueryPlanner:
     def _plan(self, query: PSJQuery) -> QueryPlan:
         if query.unsatisfiable:
             return QueryPlan(query, "unsatisfiable", cache_result=False)
+        if self.features.canonical and canonicalize(query).unsatisfiable:
+            # Interval folding proved the condition set contradictory
+            # (e.g. ``x>5 ∧ x<3``): answer empty without touching the
+            # cache or the remote DBMS.
+            return QueryPlan(
+                query,
+                "unsatisfiable",
+                cache_result=False,
+                notes=["canonical form is unsatisfiable"],
+            )
         if not query.occurrences:
             return QueryPlan(query, "unit", cache_result=False)
 
@@ -178,8 +196,25 @@ class QueryPlanner:
         # -- step 2 first: an exact or derived cache answer needs no step 1.
         if self.features.caching:
             exact = self.cache.lookup_exact(query)
+            canonical_hit = False
             if exact is not None:
-                exact_notes = ["exact-match result reuse"]
+                # The cache indexes by canonical key; when the stored
+                # definition is not structurally identical this is a
+                # **canonical hit** — a variant spelling served without
+                # subsumption scoring.
+                canonical_hit = (
+                    exact.definition.canonical_key() != query.canonical_key()
+                )
+                if canonical_hit and not self.features.canonical:
+                    exact = None  # ablation: structural exact matching only
+            if exact is not None:
+                if canonical_hit:
+                    exact_notes = [
+                        "canonical hit: variant spelling of "
+                        f"{exact.element_id} ({exact.view_name})"
+                    ]
+                else:
+                    exact_notes = ["exact-match result reuse"]
                 if exact.kind == "intermediate":
                     exact_notes.append(
                         f"reuses intermediate {exact.element_id} "
@@ -191,6 +226,7 @@ class QueryPlanner:
                     cache_result=False,  # already cached
                     lazy=False,
                     notes=exact_notes,
+                    canonical_hit=canonical_hit,
                 )
             if self.features.subsumption:
                 matches = find_relevant(self.cache, query)
@@ -211,7 +247,7 @@ class QueryPlanner:
                     expendable=expendable,
                     index_positions=index_positions,
                     estimated_local_cost=self._derive_cost(full),
-                    notes=[f"derived from {full.element.element_id}"]
+                    notes=[f"subsumption hit: derived from {full.element.element_id}"]
                     + self._intermediate_notes([full]),
                 )
         else:

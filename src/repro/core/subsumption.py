@@ -24,6 +24,13 @@ imply E's (under the mapping), every tuple combination satisfying Q over
 the covered occurrences appears in E; re-applying Q's non-implied covered
 conditions (all of whose columns survive E's projection — checked) then
 yields exactly the covered component of Q.
+
+Subsumption is the cache's *second* lookup tier: variant spellings of a
+cached definition (conjuncts reordered, variables renamed, bounds
+respelled) are recognized up front by :mod:`repro.core.canonical` and
+served as canonical-key exact hits without entering the search here.
+What reaches this module is genuine containment — a strictly more
+specific query derivable from a strictly more general element.
 """
 
 from __future__ import annotations

@@ -14,6 +14,8 @@ from repro.qa.generator import (
     canonical_json,
     encode_rows,
     fingerprint,
+    mutate_equivalent,
+    render_query,
 )
 from repro.qa.differential import (
     COLUMNAR_VARIANT,
@@ -50,6 +52,8 @@ __all__ = [
     "canonical_json",
     "encode_rows",
     "fingerprint",
+    "mutate_equivalent",
+    "render_query",
     "COLUMNAR_VARIANT",
     "FEDERATED_VARIANT",
     "VARIANTS",

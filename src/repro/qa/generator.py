@@ -31,7 +31,8 @@ from repro.advice.view_spec import annotate
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.remote.faults import FaultPolicy
-from repro.caql.ast import ConjunctiveQuery
+from repro.logic.terms import Atom, Const, Term, Var
+from repro.caql.ast import COMPARISON_PREDS, ConjunctiveQuery
 from repro.caql.parser import parse_query
 
 #: Column type tags used in serialized cases.
@@ -98,6 +99,13 @@ class CaseConfig:
     #: ``(1, 1)`` (the default) keeps cases single-backend and draws
     #: nothing from the RNG, so pre-federation corpora are bit-identical.
     backends: tuple[int, int] = (1, 1)
+    #: Probability a repeated view is re-asked as a provably-equivalent
+    #: *variant spelling* (shuffled conjuncts, renamed variables,
+    #: redundant predicates, respelled constants) of its previous source
+    #: instead of verbatim or with fresh constants.  ``0.0`` (the
+    #: default) draws nothing from the RNG, so pre-variants corpora are
+    #: bit-identical.
+    variant_rate: float = 0.0
 
     @classmethod
     def faulty(cls) -> "CaseConfig":
@@ -123,6 +131,16 @@ class CaseConfig:
             queries=(8, 16),
             scan_rate=0.7,
             cache_bytes_choices=(800, 1_200, 2_000, 3_000),
+        )
+
+    @classmethod
+    def variants(cls) -> "CaseConfig":
+        """The canonicalization profile: long sequences that re-ask each
+        view as equivalent variant spellings, so the canonical cache tier
+        (and its answer preservation) is exercised on most queries."""
+        return cls(
+            queries=(8, 16),
+            variant_rate=0.6,
         )
 
 
@@ -243,6 +261,156 @@ def case_from_relations(
             {"name": name, "columns": columns, "rows": [list(r) for r in rows]}
         )
     return FuzzCase(seed=seed, index=index, tables=tables, queries=list(queries), **kwargs)
+
+
+# -- the equivalent-query mutator -----------------------------------------------------
+
+
+def render_query(query: ConjunctiveQuery) -> str:
+    """A parsed query back as CAQL source (``parse_query``'s inverse).
+
+    Comparison literals are rendered infix (``X =< 3``) — their parsed
+    ``Atom`` form would print prefix, which the grammar rejects.
+    """
+
+    def term(t: Term) -> str:
+        return str(t)
+
+    parts = []
+    for literal in query.literals:
+        if literal.pred in COMPARISON_PREDS:
+            left, right = literal.args
+            parts.append(f"{term(left)} {literal.pred} {term(right)}")
+        else:
+            inner = ", ".join(term(a) for a in literal.args)
+            parts.append(f"{literal.pred}({inner})")
+    head = ", ".join(term(a) for a in query.answers)
+    return f"{query.name}({head}) :- {', '.join(parts)}"
+
+
+def _respell(value: object) -> object:
+    """The float spelling of an int when exact (``3`` → ``3.0``)."""
+    if type(value) is int and float(value) == value:
+        return float(value)
+    return value
+
+
+def _weaker_bounds(literal: Atom, rng: random.Random) -> list[Atom]:
+    """Redundant comparisons implied by ``literal`` (numeric only).
+
+    * a strictly looser copy of a bound (``X < 5`` → also ``X < 8``);
+    * the exclusion of a strict bound's own endpoint (``X < 5`` → also
+      ``X \\= 5``);
+    * the non-strict bounds an equality pin implies (``X = 5`` → also
+      ``X >= 5`` / ``X =< 5``).
+
+    Every emitted conjunct folds away during canonicalization, so the
+    mutated query keeps both its answers and its canonical key.
+    """
+    left, right = literal.args
+    if not isinstance(left, Var) or not isinstance(right, Const):
+        return []
+    value = right.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return []
+    slack = rng.randint(1, 4)
+    out: list[Atom] = []
+    if literal.pred in ("<", "=<"):
+        out.append(Atom(literal.pred, (left, Const(value + slack))))
+    elif literal.pred in (">", ">="):
+        out.append(Atom(literal.pred, (left, Const(value - slack))))
+    elif literal.pred == "=":
+        out.append(Atom(rng.choice((">=", "=<")), (left, Const(value))))
+    if literal.pred in ("<", ">"):
+        out.append(Atom("\\=", (left, Const(value))))
+    return out
+
+
+def mutate_equivalent(source: str, rng: random.Random) -> str:
+    """A provably-equivalent variant spelling of a CAQL query.
+
+    Applies a seeded mix of answer-preserving, canonical-key-preserving
+    rewrites: conjunct shuffling, bijective variable renaming, redundant
+    comparison insertion (duplicates, looser bounds, pin-implied
+    bounds), and constant respelling (``1`` → ``1.0``) in body
+    positions.  Head constants are never respelled — they are output
+    values, and the differential fuzzer encodes answers
+    type-preservingly.  The result is returned as source text, so a
+    mutated case stays JSON-round-trippable and replayable like any
+    other.
+    """
+    query = parse_query(source)
+    literals = list(query.literals)
+
+    # Redundant comparison conjuncts (insertion points are drawn after
+    # content, so the subsequent shuffle owns final placement).
+    extra: list[Atom] = []
+    for literal in literals:
+        if literal.pred in COMPARISON_PREDS and rng.random() < 0.4:
+            if rng.random() < 0.4:
+                extra.append(literal)  # verbatim duplicate
+            else:
+                implied = _weaker_bounds(literal, rng)
+                if implied:
+                    extra.append(rng.choice(implied))
+    literals.extend(extra)
+
+    # Constant respelling in body positions (relation arguments and
+    # comparison right-hand sides both become selection conditions).
+    def respell_atom(literal: Atom) -> Atom:
+        args = tuple(
+            Const(_respell(a.value))
+            if isinstance(a, Const) and rng.random() < 0.5
+            else a
+            for a in literal.args
+        )
+        return Atom(literal.pred, args, negated=literal.negated)
+
+    literals = [respell_atom(l) if rng.random() < 0.6 else l for l in literals]
+
+    # Conjunct shuffling.  Comparisons move freely; relation literals may
+    # reorder only while each answer variable's *first-binding* literal
+    # stays first among its binders — the projection takes its output
+    # spelling from that representative occurrence, so moving it is not
+    # answer-preserving on rows that join ==-equal values of different
+    # types (1 vs 1.0), and correspondingly not key-preserving.
+    relations = [l for l in literals if l.pred not in COMPARISON_PREDS]
+    comparisons = [l for l in literals if l.pred in COMPARISON_PREDS]
+    shuffled = list(relations)
+    rng.shuffle(shuffled)
+
+    def first_binder(sequence: list[Atom], var: Var) -> Atom:
+        return next(l for l in sequence if var in l.variables())
+
+    answer_vars = [t for t in query.answers if isinstance(t, Var)]
+    if any(
+        first_binder(shuffled, v) != first_binder(relations, v)
+        for v in answer_vars
+    ):
+        shuffled = relations
+    literals = list(shuffled)
+    for comparison in comparisons:
+        literals.insert(rng.randrange(len(literals) + 1), comparison)
+
+    # Bijective variable renaming (never colliding with the originals).
+    variables = sorted(
+        {t for l in literals for t in l.args if isinstance(t, Var)}
+        | {t for t in query.answers if isinstance(t, Var)},
+        key=lambda v: v.name,
+    )
+    fresh = [f"W{k}" for k in range(len(variables))]
+    rng.shuffle(fresh)
+    renaming: dict[Var, Var] = {v: Var(n) for v, n in zip(variables, fresh)}
+
+    def rename(term: Term) -> Term:
+        return renaming.get(term, term) if isinstance(term, Var) else term
+
+    literals = [
+        Atom(l.pred, tuple(rename(a) for a in l.args), negated=l.negated)
+        for l in literals
+    ]
+    answers = tuple(rename(a) for a in query.answers)
+    return render_query(ConjunctiveQuery(query.name, answers, tuple(literals)))
 
 
 class CaseGenerator:
@@ -467,6 +635,17 @@ class CaseGenerator:
         for _ in range(count):
             template = rng.choice(templates)
             name = template["name"]
+            if (
+                cfg.variant_rate > 0  # gate first: profiles without
+                # variants draw nothing extra and keep their exact
+                # pre-variants RNG streams (same convention as backends)
+                and name in previous
+                and rng.random() < cfg.variant_rate
+            ):
+                # An equivalent variant spelling of the last ask: the
+                # canonical cache tier must serve it with identical rows.
+                queries.append(mutate_equivalent(previous[name], rng))
+                continue
             if name in previous and rng.random() < 0.25:
                 queries.append(previous[name])  # verbatim repeat: exact hit
                 continue

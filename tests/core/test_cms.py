@@ -5,6 +5,7 @@ import pytest
 from repro.common.errors import AdviceError
 from repro.common.metrics import (
     CACHE_GENERALIZATIONS,
+    CACHE_HITS_CANONICAL,
     CACHE_HITS_EXACT,
     CACHE_HITS_SUBSUMED,
     CACHE_INDEX_BUILDS,
@@ -270,3 +271,43 @@ class TestMetadata:
     def test_statistics(self, cms):
         stats = cms.statistics_of("age")
         assert stats.cardinality == 6
+
+
+class TestCanonicalTier:
+    """Variant spellings of a cached ask land on the canonical tier."""
+
+    BASE = "q(X) :- age(X, A), A > 20, A < 60"
+    #: Same question: conjuncts shuffled, variables renamed, a redundant
+    #: bound added, a constant respelled.
+    VARIANT = "q(P) :- B < 60.0, age(P, B), B > 10, B > 20"
+
+    def test_variant_spelling_is_a_canonical_hit(self, cms):
+        base_rows = set(cms.query(parse_query(self.BASE)).fetch_all())
+        before = cms.metrics.get(REMOTE_REQUESTS)
+        result = cms.query(parse_query(self.VARIANT))
+        assert set(result.fetch_all()) == base_rows
+        assert cms.metrics.get(REMOTE_REQUESTS) == before
+        assert cms.metrics.get(CACHE_HITS_CANONICAL) == 1
+        assert cms.metrics.get(CACHE_HITS_EXACT) == 1
+
+    def test_explain_names_the_canonical_hit(self, cms):
+        cms.query(parse_query(self.BASE))
+        explanation = cms.explain(parse_query(self.VARIANT))
+        assert explanation.strategy == "exact"
+        assert any("canonical hit" in note for note in explanation.notes)
+
+    def test_ablation_falls_back_to_subsumption(self):
+        system = CacheManagementSystem(
+            load_tables(RemoteDBMS()), features=CMSFeatures(canonical=False)
+        )
+        system.begin_session()
+        base_rows = set(system.query(parse_query(self.BASE)).fetch_all())
+        assert set(system.query(parse_query(self.VARIANT)).fetch_all()) == base_rows
+        assert system.metrics.get(CACHE_HITS_CANONICAL) == 0
+        assert system.metrics.get(CACHE_HITS_SUBSUMED) == 1
+
+    def test_canonically_unsatisfiable_query_answers_empty_locally(self, cms):
+        before = cms.metrics.get(REMOTE_REQUESTS)
+        result = cms.query(parse_query("q(X) :- age(X, A), A > 30, A < 20"))
+        assert result.fetch_all() == []
+        assert cms.metrics.get(REMOTE_REQUESTS) == before
